@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+func TestBuildSystemCoversAllNames(t *testing.T) {
+	cfg := cache.Config{Name: "L1D", Size: 16 * 1024, LineSize: 64, Assoc: 1}
+	names := []string{
+		"base",
+		"vc", "vc-noswap", "vc-nofill", "vc-both",
+		"pf", "pf-filter", "rpt",
+		"excl-mat", "excl-conflict", "excl-capacity", "excl-conflict-hist", "excl-capacity-hist",
+		"pseudo", "pseudo-mct",
+		"amb-vict", "amb-pref", "amb-excl",
+		"amb-victpref", "amb-prefexcl", "amb-victexcl", "amb-all",
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		sys, err := buildSystem(n, cfg, 0, 8, core.OrConflict)
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		if sys == nil {
+			t.Errorf("%s: nil system", n)
+			continue
+		}
+		if seen[sys.Name()] {
+			t.Errorf("%s: duplicate system name %q", n, sys.Name())
+		}
+		seen[sys.Name()] = true
+	}
+	if _, err := buildSystem("bogus", cfg, 0, 8, core.OrConflict); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestBuildSystemPropagatesErrors(t *testing.T) {
+	bad := cache.Config{Name: "L1D", Size: 7, LineSize: 64, Assoc: 1}
+	if _, err := buildSystem("vc", bad, 0, 8, core.OrConflict); err == nil {
+		t.Error("bad cache config accepted")
+	}
+	good := cache.Config{Name: "L1D", Size: 16 * 1024, LineSize: 64, Assoc: 1}
+	if _, err := buildSystem("vc", good, 0, 0, core.OrConflict); err == nil {
+		t.Error("zero buffer entries accepted")
+	}
+}
+
+func TestNonzero(t *testing.T) {
+	if nonzero(0) != 1 || nonzero(5) != 5 {
+		t.Error("nonzero helper wrong")
+	}
+}

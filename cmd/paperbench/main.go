@@ -1,0 +1,217 @@
+// Command paperbench regenerates every table and figure of Collins &
+// Tullsen, "Hardware Identification of Cache Conflict Misses" (MICRO-32,
+// 1999), printing each as a plain-text table.
+//
+// Usage:
+//
+//	paperbench [-experiment all|fig1|fig2|fig3|table1|fig4|fig5|pseudo|fig6|fig7]
+//	           [-instructions N] [-accesses N] [-seed N] [-quick]
+//
+// The default scale (see internal/experiments.Default) is sized to finish
+// in minutes on a laptop while giving stable statistics; -quick shrinks it
+// for a fast sanity pass. EXPERIMENTS.md records a full run's output next
+// to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		which  = flag.String("experiment", "all", "which artifact to regenerate: all, fig1, fig2, fig3, table1, fig4, fig5, pseudo, fig6, fig7, replacement, remap, cosched, depth, smt, icache, sweep")
+		instrs = flag.Uint64("instructions", 0, "instructions per timing run (0 = default scale)")
+		memAcc = flag.Uint64("accesses", 0, "memory accesses per functional run (0 = default scale)")
+		seed   = flag.Uint64("seed", 0, "workload seed (0 = repo default)")
+		quick  = flag.Bool("quick", false, "use the reduced test-scale parameters")
+		csvDir = flag.String("csvdir", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	p := experiments.Default()
+	if *quick {
+		p = experiments.Quick()
+	}
+	if *instrs != 0 {
+		p.Instructions = *instrs
+	}
+	if *memAcc != 0 {
+		p.MemAccesses = *memAcc
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	emit := func(slug string, t *stats.Table) {
+		fmt.Println(t)
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*csvDir, slug+".csv")
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	wanted := map[string]bool{}
+	for _, w := range strings.Split(*which, ",") {
+		wanted[strings.TrimSpace(w)] = true
+	}
+	all := wanted["all"]
+	ran := 0
+	run := func(names []string, f func()) {
+		hit := all
+		for _, n := range names {
+			hit = hit || wanted[n]
+		}
+		if !hit {
+			return
+		}
+		ran++
+		start := time.Now()
+		f()
+		fmt.Printf("(%s in %.1fs)\n\n", names[0], time.Since(start).Seconds())
+	}
+
+	run([]string{"fig1"}, func() {
+		r := experiments.Figure1(p)
+		emit("fig1", r.Table())
+		fmt.Printf("paper: 88%%/86%% conflict/capacity on 16KB DM, 91%%/92%% on 64KB DM; ≥87%% of misses overall\n")
+		fmt.Printf("here : %.0f%%/%.0f%% on 16KB DM, %.0f%%/%.0f%% on 64KB DM\n",
+			100*r.MeanConflictAcc["16KB-DM"], 100*r.MeanCapacityAcc["16KB-DM"],
+			100*r.MeanConflictAcc["64KB-DM"], 100*r.MeanCapacityAcc["64KB-DM"])
+	})
+
+	run([]string{"fig2"}, func() {
+		r := experiments.Figure2(p)
+		emit("fig2", r.Table())
+		fmt.Println("paper: 8-12 bits ≈ full-tag accuracy; 1 bit excludes ~half of capacity misses cheaply")
+	})
+
+	var fig3 *experiments.Fig3Result
+	run([]string{"fig3", "table1"}, func() {
+		r := experiments.Figure3(p)
+		fig3 = &r
+		if all || wanted["fig3"] {
+			emit("fig3", r.Table())
+			fmt.Println(r.Chart("geomean speedup over no victim cache (| marks 1.0)", 0))
+			fmt.Printf("paper: combined filtering ≈ +3%% over the traditional victim cache; here %+.1f%%\n",
+				100*(r.CombinedOverTraditional()-1))
+		}
+		if all || wanted["table1"] {
+			emit("table1", r.Table1Text())
+			fmt.Println("paper Table 1: fills 6.6 -> 2.6 (more than halved), swaps 1.7 -> 0.1, total HR -0.3pp")
+		}
+	})
+	_ = fig3
+
+	run([]string{"fig4"}, func() {
+		r := experiments.Figure4(p)
+		emit("fig4", r.Table())
+		fmt.Printf("paper: ~+25%% prefetch accuracy from filtering, little speedup by itself; here %+.0f%% accuracy\n",
+			100*r.AccuracyGain())
+	})
+
+	run([]string{"fig5"}, func() {
+		r := experiments.Figure5(p)
+		emit("fig5", r.Table())
+		hr, sp := r.CapacityBeatsMAT()
+		fmt.Printf("paper: the simple capacity filter beats the MAT on hit rate and speedup; here hitrate=%v speedup=%v\n", hr, sp)
+	})
+
+	run([]string{"pseudo"}, func() {
+		r := experiments.PseudoAssoc(p)
+		emit("pseudo", r.Table())
+		base, mct := r.MissRates()
+		fmt.Printf("paper: MCT policy +1.5%% over base PA, within 0.9%% of true 2-way, miss rate 10.22%%->9.83%%\n")
+		fmt.Printf("here : %+.1f%% over base PA, %.1f%% vs 2-way, miss rate %.2f%%->%.2f%%\n",
+			100*(r.MCTOverBase()-1), 100*(r.MCTVsTwoWay()-1), 100*base, 100*mct)
+	})
+
+	run([]string{"fig6", "fig7"}, func() {
+		r := experiments.Figure6(p)
+		if all || wanted["fig6"] {
+			emit("fig6", r.Table())
+			fmt.Println(r.Chart("geomean speedup over no buffer (| marks 1.0)", 0))
+			sn, s := r.BestSingleGain()
+			cn, c := r.BestComboGain()
+			fmt.Printf("paper: best combo ≈ 2x the best single policy's gain (~16%% better), ~30%% miss-rate cut\n")
+			fmt.Printf("here : best single %s %+.1f%%, best combo %s %+.1f%%, miss-rate cut %.0f%%\n",
+				sn, 100*(s-1), cn, 100*(c-1), 100*r.MissRateReduction())
+		}
+		if all || wanted["fig7"] {
+			emit("fig7", r.Figure7Table())
+		}
+	})
+
+	run([]string{"replacement"}, func() {
+		r := experiments.Replacement(p)
+		emit("replacement", r.Table())
+		fmt.Println("paper Sec 5.6: modest on this suite by the paper's own admission; the bias must not hurt")
+	})
+
+	run([]string{"remap"}, func() {
+		r := experiments.Remap(p)
+		emit("remap", r.Table())
+		ra, rc, ma, mc := r.RemapEfficiency()
+		fmt.Printf("paper Sec 5.6: count only conflict misses to avoid pointless remaps\n")
+		fmt.Printf("here : all-miss counting %d remaps (mean miss %.2f%%); conflict-only %d remaps (mean miss %.2f%%)\n",
+			ra, 100*ma, rc, 100*mc)
+	})
+
+	run([]string{"depth"}, func() {
+		r := experiments.MCTDepth(p)
+		emit("depth", r.Table())
+		fmt.Println("extension the paper set aside: deeper eviction history buys conflict accuracy")
+		fmt.Println("but loses capacity accuracy to false matches — the one-deep table is the sweet spot")
+	})
+
+	run([]string{"smt"}, func() {
+		r := experiments.SMTStudy(p)
+		emit("smt", r.Table())
+		fmt.Printf("paper Sec 5.6: the techniques \"apply to an even greater extent with multithreaded caches\"\n")
+		fmt.Printf("here : AMB gains %+.1f%% on 2-thread shared caches vs %+.1f%% on solo runs\n",
+			100*(r.PairGain()-1), 100*(r.SingleGain-1))
+	})
+
+	run([]string{"icache"}, func() {
+		r := experiments.ICacheStudy(p)
+		emit("icache", r.Table())
+		fmt.Printf("paper: techniques \"should, in general, also apply to the instruction cache\"\n")
+		fmt.Printf("here : bare 8KB L1I costs %.1f%%; a 32-entry filtered victim buffer recovers %+.1f%%\n",
+			100*(1-r.ICacheCost()), 100*(r.VictimGain()-1))
+	})
+
+	run([]string{"sweep"}, func() {
+		r := experiments.ConfigSweep(p)
+		emit("sweep", r.Table())
+		fmt.Printf("generalization: worst-case overall accuracy %.1f%% across the grid;\n", 100*r.MinOverallAcc())
+		fmt.Println("conflict share collapses with associativity, which is why the paper")
+		fmt.Println("points at multithreaded and OLTP workloads rather than bigger caches")
+	})
+
+	run([]string{"cosched"}, func() {
+		r := experiments.CoSchedule(p)
+		emit("cosched", r.Table())
+		fmt.Println("paper Sec 5.6: jobs producing inordinate conflict misses together are bad co-schedule candidates")
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *which)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestGenerateWritesReplayableTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.mctr")
+	if err := generate("li", out, 5000, 42); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Drain(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != 5000 {
+		t.Fatalf("trace has %d records", len(got))
+	}
+	// The file replays identically to the live generator.
+	b, _ := workload.ByName("li")
+	want := trace.Drain(trace.NewLimit(b.Stream(42), 5000))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGenerateRejectsUnknownBenchmark(t *testing.T) {
+	if err := generate("doom", filepath.Join(t.TempDir(), "x"), 10, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestDumpTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.mctr")
+	if err := generate("go", out, 200, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := dumpTrace(out, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := dumpTrace(filepath.Join(dir, "missing"), 5); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A corrupt file surfaces an error.
+	bad := filepath.Join(dir, "bad.mctr")
+	if err := os.WriteFile(bad, []byte("NOPE etc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := dumpTrace(bad, 5); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}

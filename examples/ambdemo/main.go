@@ -1,0 +1,52 @@
+// AMB demo: the Section-5.5 punchline as a runnable program. One small
+// buffer, three personalities — victim cache for conflict misses, prefetch
+// buffer and bypass buffer for capacity misses — and the combination beats
+// every single-purpose configuration on a mixed workload.
+//
+//	go run ./examples/ambdemo
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/amb"
+	"repro/internal/assist"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	opt := sim.Options{Instructions: 300_000}
+	cfg := sim.L1Config()
+
+	// turb3d mixes a hot conflict pair with streaming sweeps — both miss
+	// types in quantity, which is exactly the AMB's habitat.
+	bench, _ := workload.ByName("turb3d")
+	base := sim.Run(bench, assist.MustNewBaseline(cfg, 0), opt)
+	fmt.Printf("workload %s: baseline IPC %.3f, miss rate %.1f%% (%.0f%% of misses are conflicts)\n\n",
+		bench.Name, base.IPC(), 100*base.Sys.MissRate(),
+		100*float64(base.Sys.ConflictMisses)/float64(base.Sys.Misses))
+
+	t := stats.NewTable("adaptive miss buffer configurations (8 entries)",
+		"combo", "speedup", "D$ %", "victim %", "prefetch %", "bypass %", "miss %")
+	for _, combo := range amb.Combos {
+		r := sim.Run(bench, amb.MustNew(cfg, 0, assist.DefaultEntries, combo), opt)
+		s := r.Sys
+		acc := float64(s.Accesses)
+		t.AddRow(combo.Name(),
+			fmt.Sprintf("%.3f", r.IPC()/base.IPC()),
+			fmt.Sprintf("%.1f", 100*float64(s.L1Hits)/acc),
+			fmt.Sprintf("%.1f", 100*float64(s.BufferHitsByOrigin[assist.OriginVictim])/acc),
+			fmt.Sprintf("%.1f", 100*float64(s.BufferHitsByOrigin[assist.OriginPrefetch])/acc),
+			fmt.Sprintf("%.1f", 100*float64(s.BufferHitsByOrigin[assist.OriginBypass])/acc),
+			fmt.Sprintf("%.1f", 100*s.MissRate()))
+	}
+	fmt.Println(t)
+
+	fmt.Println("Each miss goes to the optimization its MCT classification suggests:")
+	fmt.Println("conflict misses are victim-cached (no swap), capacity misses are")
+	fmt.Println("prefetched and/or excluded. The hit-rate columns show the combined")
+	fmt.Println("policies covering both miss populations at once — the single buffer")
+	fmt.Println("does the work of three.")
+}

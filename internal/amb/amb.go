@@ -1,0 +1,291 @@
+// Package amb implements the Adaptive Miss Buffer of Section 5.5: one
+// small fully-associative buffer that serves simultaneously as victim
+// cache, prefetch buffer, and bypass buffer, dispatching each miss to the
+// optimization its classification suggests.
+//
+// The combination rules follow the paper: conflict misses are
+// victim-cached (without swapping, the best variant from Sec 5.1);
+// capacity misses are next-line prefetched and/or excluded into the
+// buffer; entries carry their origin so a buffer hit is handled according
+// to how the line arrived, and a prefetched line hit under an exclusion
+// policy transitions to an exclusion entry rather than moving to the
+// cache. All multi-policy configurations use the out-conflict filter.
+package amb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/assist"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Combo selects which optimizations the buffer applies.
+type Combo struct {
+	// Victim stashes conflict-miss evictions and serves conflict re-misses
+	// from the buffer.
+	Victim bool
+	// Prefetch issues next-line prefetches on capacity misses.
+	Prefetch bool
+	// Exclude bypasses capacity misses into the buffer instead of the L1.
+	Exclude bool
+}
+
+// The paper's Figure-6 configurations.
+var (
+	Vict      = Combo{Victim: true}
+	Pref      = Combo{Prefetch: true}
+	Excl      = Combo{Exclude: true}
+	VictPref  = Combo{Victim: true, Prefetch: true}
+	PrefExcl  = Combo{Prefetch: true, Exclude: true}
+	VictExcl  = Combo{Victim: true, Exclude: true}
+	VicPreExc = Combo{Victim: true, Prefetch: true, Exclude: true}
+)
+
+// Combos lists Figure 6's bars in presentation order.
+var Combos = []Combo{Vict, Pref, Excl, VictPref, PrefExcl, VictExcl, VicPreExc}
+
+// Name returns the paper's label for the combination.
+func (c Combo) Name() string {
+	var parts []string
+	if c.Victim {
+		parts = append(parts, "Vict")
+	}
+	if c.Prefetch {
+		parts = append(parts, "Pref")
+	}
+	if c.Exclude {
+		parts = append(parts, "Excl")
+	}
+	switch len(parts) {
+	case 0:
+		return "none"
+	case 3:
+		return "VicPreExc"
+	default:
+		return strings.Join(parts, "")
+	}
+}
+
+// System is the Adaptive Miss Buffer assist system.
+type System struct {
+	combo  Combo
+	l1     *cache.Cache
+	mct    *core.MCT
+	buffer *assist.Buffer
+	geom   mem.Geometry
+
+	stats assist.Stats
+}
+
+// New builds an AMB with the given combination over an entries-deep buffer
+// (8 in the paper's main results, 16 in the large variant).
+func New(cfg cache.Config, tagBits, entries int, combo Combo) (*System, error) {
+	l1, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mct, err := core.New(core.Config{Sets: cfg.Sets(), TagBits: tagBits})
+	if err != nil {
+		return nil, err
+	}
+	if entries <= 0 {
+		return nil, fmt.Errorf("amb: buffer needs positive entries, got %d", entries)
+	}
+	return &System{
+		combo:  combo,
+		l1:     l1,
+		mct:    mct,
+		buffer: assist.NewBuffer(entries),
+		geom:   l1.Geometry(),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg cache.Config, tagBits, entries int, combo Combo) *System {
+	s, err := New(cfg, tagBits, entries, combo)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements assist.System.
+func (s *System) Name() string { return "amb-" + s.combo.Name() }
+
+// Combo returns the active combination.
+func (s *System) Combo() Combo { return s.combo }
+
+// Buffer exposes the shared buffer.
+func (s *System) Buffer() *assist.Buffer { return s.buffer }
+
+// L1 exposes the underlying cache.
+func (s *System) L1() *cache.Cache { return s.l1 }
+
+// Access implements assist.System.
+func (s *System) Access(acc mem.Access) assist.Outcome {
+	isStore := acc.Type == mem.Store
+	s.stats.Accesses++
+	if s.l1.Access(acc.Addr, isStore) {
+		s.stats.L1Hits++
+		return assist.Outcome{L1Hit: true}
+	}
+
+	set := s.geom.Set(acc.Addr)
+	tag := s.geom.Tag(acc.Addr)
+	class := s.mct.ClassifyMiss(set, tag)
+	line := s.geom.Line(acc.Addr)
+
+	if entry, ok := s.buffer.Hit(line, isStore); ok {
+		s.stats.BufferHits++
+		s.stats.BufferHitsByOrigin[entry.Origin]++
+		return s.onBufferHit(acc, class, line, entry, isStore)
+	}
+
+	s.stats.Misses++
+	if class == core.Conflict {
+		s.stats.ConflictMisses++
+	} else {
+		s.stats.CapacityMisses++
+	}
+	return s.onBufferMiss(acc, class, line, set, tag, isStore)
+}
+
+// onBufferHit dispatches on the entry's origin.
+func (s *System) onBufferHit(acc mem.Access, class core.Class, line mem.LineAddr, entry assist.Entry, isStore bool) assist.Outcome {
+	switch entry.Origin {
+	case assist.OriginVictim:
+		// Conflict-targeted victim entries are served in place (the
+		// no-swap policy that won in Sec 5.1); the line stays buffered so
+		// the contended set doesn't ping-pong.
+		return assist.Outcome{Class: class, BufferHit: true}
+
+	case assist.OriginPrefetch:
+		if s.combo.Exclude {
+			// PrefExcl/VicPreExc transition: the prefetched line stays in
+			// the buffer as an exclusion line (paper Sec 5.5).
+			s.buffer.Insert(line, assist.Entry{
+				Origin:   assist.OriginBypass,
+				Dirty:    entry.Dirty || isStore,
+				Conflict: entry.Conflict,
+				Used:     true,
+			})
+			return assist.Outcome{Class: class, BufferHit: true}
+		}
+		// Stream-buffer semantics: consume into the cache, keep streaming.
+		s.buffer.Remove(line)
+		ev := s.l1.Fill(acc.Addr, isStore || entry.Dirty, class == core.Conflict)
+		wb := false
+		if ev.Occurred {
+			s.mct.RecordEviction(s.geom.Set(acc.Addr), s.geom.TagOfLine(ev.Line))
+			wb = ev.Dirty
+		}
+		var pfs []mem.LineAddr
+		if s.combo.Prefetch {
+			pfs = s.maybePrefetch(acc.Addr)
+		}
+		return assist.Outcome{Class: class, BufferHit: true, CacheFill: true, Writeback: wb, Prefetches: pfs}
+
+	default: // OriginBypass
+		// Excluded lines remain until bumped.
+		return assist.Outcome{Class: class, BufferHit: true}
+	}
+}
+
+// onBufferMiss routes the miss to the most appropriate optimization.
+func (s *System) onBufferMiss(acc mem.Access, class core.Class, line mem.LineAddr, set, tag uint64, isStore bool) assist.Outcome {
+	conflict := class == core.Conflict
+
+	if conflict && s.combo.Victim {
+		// Conflict miss: fill the cache and victim-stash the displaced
+		// line — it is the likely next conflict victim in this set.
+		ev := s.l1.Fill(acc.Addr, isStore, true)
+		wb := false
+		filled := false
+		if ev.Occurred {
+			s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
+			s.stats.BufferFills++
+			dropped, wasFull := s.buffer.Insert(ev.Line, assist.Entry{
+				Origin:   assist.OriginVictim,
+				Dirty:    ev.Dirty,
+				Conflict: ev.Conflict,
+			})
+			wb = wasFull && dropped.Entry.Dirty
+			filled = true
+		}
+		return assist.Outcome{Class: class, CacheFill: true, BufferFill: filled, Writeback: wb}
+	}
+
+	if !conflict && s.combo.Exclude {
+		// Capacity miss under exclusion: bypass into the buffer, seed the
+		// MCT so the line can later classify as conflict, and optionally
+		// keep the stream going with a prefetch.
+		s.stats.Bypasses++
+		s.stats.BufferFills++
+		s.mct.Seed(set, tag)
+		dropped, wasFull := s.buffer.Insert(line, assist.Entry{
+			Origin: assist.OriginBypass,
+			Dirty:  isStore,
+		})
+		var pfs []mem.LineAddr
+		if s.combo.Prefetch {
+			pfs = s.maybePrefetch(acc.Addr)
+		}
+		return assist.Outcome{
+			Class:      class,
+			BufferFill: true,
+			Writeback:  wasFull && dropped.Entry.Dirty,
+			Prefetches: pfs,
+		}
+	}
+
+	// Normal fill path; capacity misses may still trigger a prefetch.
+	ev := s.l1.Fill(acc.Addr, isStore, conflict)
+	wb := false
+	if ev.Occurred {
+		s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
+		wb = ev.Dirty
+	}
+	var pfs []mem.LineAddr
+	if !conflict && s.combo.Prefetch {
+		pfs = s.maybePrefetch(acc.Addr)
+	}
+	return assist.Outcome{Class: class, CacheFill: true, Writeback: wb, Prefetches: pfs}
+}
+
+// maybePrefetch requests the next line unless it is already present.
+func (s *System) maybePrefetch(addr mem.Addr) []mem.LineAddr {
+	next := s.geom.NextLine(addr)
+	nline := s.geom.Line(next)
+	if s.l1.Contains(next) || s.buffer.Contains(nline) {
+		return nil
+	}
+	s.stats.PrefetchesIssued++
+	return []mem.LineAddr{nline}
+}
+
+// Contains implements assist.System.
+func (s *System) Contains(addr mem.Addr) (inL1, inBuffer bool) {
+	return s.l1.Contains(addr), s.buffer.Contains(s.geom.Line(addr))
+}
+
+// PrefetchArrived implements assist.System.
+func (s *System) PrefetchArrived(line mem.LineAddr) bool {
+	addr := mem.Addr(uint64(line) << s.geom.LineShift())
+	if s.l1.Contains(addr) || s.buffer.Contains(line) {
+		return false
+	}
+	s.buffer.Insert(line, assist.Entry{Origin: assist.OriginPrefetch})
+	return true
+}
+
+// Stats implements assist.System.
+func (s *System) Stats() assist.Stats {
+	out := s.stats
+	bs := s.buffer.Stats()
+	out.PrefetchesUseful = bs.PrefetchesUseful
+	out.PrefetchesWasted = bs.PrefetchesWasted
+	return out
+}

@@ -1,0 +1,85 @@
+package assist
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Baseline is the no-assist System: a bare L1 with an MCT classifying its
+// misses. Every Section-5 experiment reports speedups relative to it, and
+// Table 1's "no V cache" row is its statistics.
+type Baseline struct {
+	name string
+	l1   *cache.Cache
+	mct  *core.MCT
+
+	stats Stats
+}
+
+// NewBaseline builds the baseline over an L1 configuration. tagBits sizes
+// the MCT entries (0 = full tags, the paper's setting for all of Sec 5).
+func NewBaseline(cfg cache.Config, tagBits int) (*Baseline, error) {
+	l1, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mct, err := core.New(core.Config{Sets: cfg.Sets(), TagBits: tagBits})
+	if err != nil {
+		return nil, err
+	}
+	return &Baseline{name: "base", l1: l1, mct: mct}, nil
+}
+
+// MustNewBaseline is NewBaseline that panics on error.
+func MustNewBaseline(cfg cache.Config, tagBits int) *Baseline {
+	b, err := NewBaseline(cfg, tagBits)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Name implements System.
+func (b *Baseline) Name() string { return b.name }
+
+// L1 exposes the underlying cache (tests and diagnostics).
+func (b *Baseline) L1() *cache.Cache { return b.l1 }
+
+// MCT exposes the classification table.
+func (b *Baseline) MCT() *core.MCT { return b.mct }
+
+// Access implements System: classic miss-fill-record with no assist.
+func (b *Baseline) Access(acc mem.Access) Outcome {
+	isStore := acc.Type == mem.Store
+	b.stats.Accesses++
+	if b.l1.Access(acc.Addr, isStore) {
+		b.stats.L1Hits++
+		return Outcome{L1Hit: true}
+	}
+	geom := b.l1.Geometry()
+	class := b.mct.ClassifyMiss(geom.Set(acc.Addr), geom.Tag(acc.Addr))
+	b.stats.Misses++
+	if class == core.Conflict {
+		b.stats.ConflictMisses++
+	} else {
+		b.stats.CapacityMisses++
+	}
+	ev := cacheFillWithMCT(b.l1, b.mct, acc.Addr, isStore, class)
+	return Outcome{
+		Class:     class,
+		CacheFill: true,
+		Writeback: ev.Occurred && ev.Dirty,
+	}
+}
+
+// Contains implements System.
+func (b *Baseline) Contains(addr mem.Addr) (inL1, inBuffer bool) {
+	return b.l1.Contains(addr), false
+}
+
+// PrefetchArrived implements System; the baseline never prefetches.
+func (b *Baseline) PrefetchArrived(mem.LineAddr) bool { return false }
+
+// Stats implements System.
+func (b *Baseline) Stats() Stats { return b.stats }

@@ -1,0 +1,102 @@
+package assist
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+func dmConfig() cache.Config {
+	return cache.Config{Name: "t", Size: 16 * 1024, LineSize: 64, Assoc: 1}
+}
+
+func TestBaselineClassifiesAndFills(t *testing.T) {
+	b := MustNewBaseline(dmConfig(), 0)
+	a1, a2 := mem.Addr(0x0000), mem.Addr(0x4000)
+
+	out := b.Access(mem.Access{Addr: a1, Type: mem.Load})
+	if out.L1Hit || !out.CacheFill || out.Class != 0 {
+		t.Fatalf("first access outcome: %+v", out)
+	}
+	out = b.Access(mem.Access{Addr: a2, Type: mem.Load})
+	if out.L1Hit {
+		t.Fatal("aliasing access should miss")
+	}
+	out = b.Access(mem.Access{Addr: a1, Type: mem.Load})
+	if out.Class.String() != "conflict" {
+		t.Errorf("re-miss class = %v", out.Class)
+	}
+	out = b.Access(mem.Access{Addr: a1, Type: mem.Load})
+	if !out.L1Hit {
+		t.Error("resident line should hit")
+	}
+
+	st := b.Stats()
+	if st.Accesses != 4 || st.L1Hits != 1 || st.Misses != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ConflictMisses != 1 || st.CapacityMisses != 2 {
+		t.Errorf("classified misses = %d/%d", st.ConflictMisses, st.CapacityMisses)
+	}
+}
+
+func TestBaselineWritebackOutcome(t *testing.T) {
+	b := MustNewBaseline(dmConfig(), 0)
+	b.Access(mem.Access{Addr: 0x0000, Type: mem.Store})
+	out := b.Access(mem.Access{Addr: 0x4000, Type: mem.Load})
+	if !out.Writeback {
+		t.Error("evicting a dirty line should report a writeback")
+	}
+}
+
+func TestBaselineContains(t *testing.T) {
+	b := MustNewBaseline(dmConfig(), 0)
+	if inL1, inBuf := b.Contains(0x1000); inL1 || inBuf {
+		t.Error("cold baseline should contain nothing")
+	}
+	b.Access(mem.Access{Addr: 0x1000, Type: mem.Load})
+	if inL1, inBuf := b.Contains(0x1000); !inL1 || inBuf {
+		t.Error("filled line should be in L1, never in a buffer")
+	}
+}
+
+func TestBaselinePrefetchArrivedIgnored(t *testing.T) {
+	b := MustNewBaseline(dmConfig(), 0)
+	if b.PrefetchArrived(42) {
+		t.Error("baseline has no buffer to accept prefetches")
+	}
+}
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := Stats{
+		Accesses: 100, L1Hits: 80, BufferHits: 10, Misses: 10,
+		Swaps: 4, BufferFills: 6,
+		PrefetchesUseful: 3, PrefetchesWasted: 1,
+	}
+	if s.TotalHitRate() != 0.9 || s.L1HitRate() != 0.8 || s.BufferHitRate() != 0.1 {
+		t.Error("hit rates wrong")
+	}
+	if s.MissRate() != 0.1 || s.SwapRate() != 0.04 || s.FillRate() != 0.06 {
+		t.Error("traffic rates wrong")
+	}
+	if s.PrefetchAccuracy() != 0.75 {
+		t.Errorf("prefetch accuracy = %g", s.PrefetchAccuracy())
+	}
+	var zero Stats
+	if zero.TotalHitRate() != 0 || zero.MissRate() != 0 || zero.PrefetchAccuracy() != 0 ||
+		zero.L1HitRate() != 0 || zero.BufferHitRate() != 0 || zero.SwapRate() != 0 || zero.FillRate() != 0 {
+		t.Error("zero stats must not NaN")
+	}
+}
+
+func TestOutcomeMiss(t *testing.T) {
+	if !(Outcome{}).Miss() {
+		t.Error("empty outcome is a miss")
+	}
+	for _, o := range []Outcome{{L1Hit: true}, {SecondaryHit: true}, {BufferHit: true}} {
+		if o.Miss() {
+			t.Errorf("outcome %+v should not be a miss", o)
+		}
+	}
+}

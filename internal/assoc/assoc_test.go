@@ -1,0 +1,163 @@
+package assoc
+
+import (
+	"testing"
+
+	"repro/internal/assist"
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+func fourWay() cache.Config {
+	return cache.Config{Name: "t", Size: 16 * 1024, LineSize: 64, Assoc: 4}
+}
+
+func load(a mem.Addr) mem.Access { return mem.Access{Addr: a, Type: mem.Load} }
+
+func TestNames(t *testing.T) {
+	if MustNew(fourWay(), 0, false).Name() != "4way-lru" {
+		t.Error("lru name wrong")
+	}
+	if MustNew(fourWay(), 0, true).Name() != "4way-mct" {
+		t.Error("mct name wrong")
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	s := MustNew(fourWay(), 0, false)
+	if !s.Access(load(0x1000)).Miss() {
+		t.Fatal("cold access should miss")
+	}
+	if out := s.Access(load(0x1000)); !out.L1Hit {
+		t.Fatal("warm access should hit")
+	}
+	if in, _ := s.Contains(0x1000); !in {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestLRUFallback(t *testing.T) {
+	// Without MCT bias, the cache behaves as plain LRU: fill 4 ways,
+	// touch three, a fifth alias evicts the untouched one.
+	s := MustNew(fourWay(), 0, false)
+	stride := mem.Addr(0x1000) // 4KB: set span of a 4-way 16KB cache
+	lines := []mem.Addr{0x0, stride, 2 * stride, 3 * stride}
+	for _, a := range lines {
+		s.Access(load(a))
+	}
+	s.Access(load(lines[0]))
+	s.Access(load(lines[2]))
+	s.Access(load(lines[3]))
+	s.Access(load(4 * stride)) // evicts lines[1]
+	if in, _ := s.Contains(lines[1]); in {
+		t.Error("LRU line should have been evicted")
+	}
+	for _, a := range []mem.Addr{lines[0], lines[2], lines[3]} {
+		if in, _ := s.Contains(a); !in {
+			t.Errorf("line %#x should have survived", a)
+		}
+	}
+}
+
+func TestBiasEvictsCapacityLinesFirst(t *testing.T) {
+	s := MustNew(fourWay(), 0, true)
+	stride := mem.Addr(0x1000)
+	// Build a set where one line carries a conflict bit: A is evicted and
+	// re-fetched (MCT match -> conflict).
+	a := mem.Addr(0x0)
+	fill := []mem.Addr{a, stride, 2 * stride, 3 * stride}
+	for _, x := range fill {
+		s.Access(load(x))
+	}
+	s.Access(load(4 * stride)) // evicts a (LRU)
+	s.Access(load(a))          // conflict re-fetch: a's bit set; evicts stride (LRU)
+	// Now the set holds {a(bit), 2s, 3s, 4s}. Make a the LRU by touching
+	// the others, then bring a new line: plain LRU would evict a; the
+	// bias must evict the LRU capacity line instead.
+	s.Access(load(2 * stride))
+	s.Access(load(3 * stride))
+	s.Access(load(4 * stride))
+	s.Access(load(5 * stride))
+	if in, _ := s.Contains(a); !in {
+		t.Error("conflict-marked line was evicted despite the bias")
+	}
+}
+
+func TestBiasFallsBackWhenAllConflict(t *testing.T) {
+	// A set whose lines all carry conflict bits must still be evictable
+	// (the bits are cleared and LRU applies).
+	s := MustNew(fourWay(), 0, true)
+	stride := mem.Addr(0x1000)
+	group := []mem.Addr{0, stride, 2 * stride, 3 * stride, 4 * stride}
+	// Round-robin 5 lines through 4 ways until all carry bits.
+	for i := 0; i < 40; i++ {
+		s.Access(load(group[i%len(group)]))
+	}
+	// Still functioning: the most recent 4 of the group are present.
+	n := 0
+	for _, a := range group {
+		if in, _ := s.Contains(a); in {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Errorf("set holds %d of the group, want 4", n)
+	}
+}
+
+func TestBiasProtectsHotGroupAgainstStream(t *testing.T) {
+	// The paper's scenario: a contended group with conflict bits vs a
+	// stream striding through the set. The bias should hold the group and
+	// sacrifice the stream, beating LRU's miss count.
+	// A hot pair that fits the set, plus three streaming interlopers per
+	// round. The third interloper forces an eviction among {hot, stream}
+	// and LRU picks a hot line (touched at round start, so oldest); the
+	// re-missed hot line classifies conflict, earns its bit, and the bias
+	// then sacrifices a stream line instead — saving the partner.
+	run := func(useMCT bool) uint64 {
+		s := MustNew(fourWay(), 0, useMCT)
+		stride := mem.Addr(0x1000)
+		hot := []mem.Addr{0, stride}
+		var misses uint64
+		for i := 0; i < 400; i++ {
+			for _, a := range hot {
+				if s.Access(load(a)).Miss() {
+					misses++
+				}
+			}
+			for k := 0; k < 3; k++ {
+				s.Access(load(mem.Addr(0x100000) + mem.Addr(i*3+k)*stride))
+			}
+		}
+		return misses
+	}
+	lru, mct := run(false), run(true)
+	if mct >= lru {
+		t.Errorf("bias should cut hot-group misses: lru=%d mct=%d", lru, mct)
+	}
+}
+
+func TestWritebacks(t *testing.T) {
+	s := MustNew(fourWay(), 0, false)
+	stride := mem.Addr(0x1000)
+	s.Access(mem.Access{Addr: 0, Type: mem.Store})
+	for i := 1; i <= 4; i++ {
+		s.Access(load(mem.Addr(i) * stride))
+	}
+	// The dirty line was evicted somewhere in there.
+	st := s.Stats()
+	if st.Misses != 5 {
+		t.Errorf("misses = %d", st.Misses)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(cache.Config{Size: 3}, 0, true); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := New(fourWay(), 99, true); err == nil {
+		t.Error("bad tag bits accepted")
+	}
+}
+
+var _ assist.System = (*System)(nil)

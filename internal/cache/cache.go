@@ -1,0 +1,355 @@
+// Package cache implements the functional cache models underlying the
+// reproduction: a set-associative write-back cache with true-LRU
+// replacement and per-line conflict bits, and a fully-associative LRU cache
+// used by the classic (oracle) miss classifier.
+//
+// The models here are purely functional — they track contents and
+// replacement state, not time. Timing (banks, ports, buses, MSHRs) is
+// layered on by internal/hier so the same functional model backs both the
+// accuracy experiments (Figures 1–2) and the performance experiments
+// (Figures 3–7).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config describes a cache shape.
+type Config struct {
+	// Name labels the cache in stats output (e.g. "L1D", "L2").
+	Name string
+	// Size is the total capacity in bytes.
+	Size int
+	// LineSize is the line size in bytes (the paper uses 64 everywhere).
+	LineSize int
+	// Assoc is the set associativity (1 = direct-mapped).
+	Assoc int
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %q: size, line size, and associativity must be positive", c.Name)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d is not a power of two", c.Name, c.LineSize)
+	}
+	lines := c.Size / c.LineSize
+	if lines*c.LineSize != c.Size {
+		return fmt.Errorf("cache %q: size %d is not a multiple of line size %d", c.Name, c.Size, c.LineSize)
+	}
+	if lines%c.Assoc != 0 {
+		return fmt.Errorf("cache %q: %d lines not divisible by associativity %d", c.Name, lines, c.Assoc)
+	}
+	sets := lines / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.Size / c.LineSize / c.Assoc }
+
+// Line is one cache line's bookkeeping state. Data contents are not
+// simulated; only presence, dirtiness, and the MCT conflict bit matter.
+type Line struct {
+	// Tag is the address tag (bits above the set index).
+	Tag uint64
+	// Valid marks the line as present.
+	Valid bool
+	// Dirty marks the line as modified (written back on eviction).
+	Dirty bool
+	// Conflict is the paper's per-line conflict bit: set when the line was
+	// brought in by a miss the MCT classified as a conflict miss. The cache
+	// stores it but never interprets it; policy code owns its meaning.
+	Conflict bool
+
+	lastUse uint64 // LRU timestamp; larger is more recent
+}
+
+// Eviction describes the line displaced by a fill. Occurred is false when
+// the fill landed in an invalid (empty) way.
+type Eviction struct {
+	// Occurred reports whether a valid line was displaced.
+	Occurred bool
+	// Line is the line address of the displaced line.
+	Line mem.LineAddr
+	// Dirty reports whether the displaced line required a writeback.
+	Dirty bool
+	// Conflict is the displaced line's conflict bit at eviction time.
+	Conflict bool
+}
+
+// Stats counts the cache's functional events.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	LoadMisses uint64
+	Stores     uint64
+	Fills      uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// HitRate returns hits/accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns misses/accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with true
+// LRU replacement.
+type Cache struct {
+	cfg   Config
+	geom  mem.Geometry
+	assoc int
+	ways  []Line // sets*assoc lines; set s occupies ways[s*assoc : (s+1)*assoc]
+	clock uint64
+	stats Stats
+}
+
+// New constructs a cache from a validated configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := mem.NewGeometry(cfg.LineSize, cfg.Sets())
+	if err != nil {
+		return nil, fmt.Errorf("cache %q: %w", cfg.Name, err)
+	}
+	return &Cache{
+		cfg:   cfg,
+		geom:  geom,
+		assoc: cfg.Assoc,
+		ways:  make([]Line, cfg.Sets()*cfg.Assoc),
+	}, nil
+}
+
+// MustNew is New that panics on error, for fixed test/example shapes.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Geometry returns the address decomposition for this cache.
+func (c *Cache) Geometry() mem.Geometry { return c.geom }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters without touching contents. Experiments use
+// this to discard cache-warming effects when a warmup phase is configured.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// set returns the slice of ways backing set s.
+func (c *Cache) set(s uint64) []Line {
+	return c.ways[int(s)*c.assoc : (int(s)+1)*c.assoc]
+}
+
+// findWay returns the index within the set of the valid line with the given
+// tag, or -1.
+func findWay(set []Line, tag uint64) int {
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// Access performs a demand access at addr: on a hit it updates LRU (and the
+// dirty bit for stores) and returns true; on a miss it returns false and
+// leaves the cache unmodified — the caller decides whether and how to Fill,
+// which is what lets assist buffers and exclusion policies interpose.
+func (c *Cache) Access(addr mem.Addr, isStore bool) bool {
+	c.stats.Accesses++
+	if isStore {
+		c.stats.Stores++
+	}
+	set := c.geom.Set(addr)
+	tag := c.geom.Tag(addr)
+	ways := c.set(set)
+	w := findWay(ways, tag)
+	if w < 0 {
+		c.stats.Misses++
+		if !isStore {
+			c.stats.LoadMisses++
+		}
+		return false
+	}
+	c.stats.Hits++
+	c.clock++
+	ways[w].lastUse = c.clock
+	if isStore {
+		ways[w].Dirty = true
+	}
+	return true
+}
+
+// Contains reports whether the line holding addr is present, without
+// touching LRU state or statistics.
+func (c *Cache) Contains(addr mem.Addr) bool {
+	return findWay(c.set(c.geom.Set(addr)), c.geom.Tag(addr)) >= 0
+}
+
+// ConflictBit returns the conflict bit of the line holding addr and whether
+// the line is present.
+func (c *Cache) ConflictBit(addr mem.Addr) (bit, present bool) {
+	ways := c.set(c.geom.Set(addr))
+	w := findWay(ways, c.geom.Tag(addr))
+	if w < 0 {
+		return false, false
+	}
+	return ways[w].Conflict, true
+}
+
+// SetConflictBit overwrites the conflict bit of the line holding addr,
+// reporting whether the line was present.
+func (c *Cache) SetConflictBit(addr mem.Addr, bit bool) bool {
+	ways := c.set(c.geom.Set(addr))
+	w := findWay(ways, c.geom.Tag(addr))
+	if w < 0 {
+		return false
+	}
+	ways[w].Conflict = bit
+	return true
+}
+
+// VictimCandidate returns a copy of the line that a Fill to addr's set
+// would displace right now (the LRU valid line), and whether the fill would
+// displace anything at all. Policies that must decide before filling (e.g.
+// exclusion) use this preview.
+func (c *Cache) VictimCandidate(addr mem.Addr) (Line, bool) {
+	ways := c.set(c.geom.Set(addr))
+	victim := -1
+	for i := range ways {
+		if !ways[i].Valid {
+			return Line{}, false
+		}
+		if victim < 0 || ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	return ways[victim], true
+}
+
+// Fill inserts the line containing addr, marking it dirty if the triggering
+// access was a store and recording the conflict bit supplied by the MCT
+// policy layer. It returns the eviction that made room. Filling a line that
+// is already present refreshes its LRU position and returns no eviction
+// (this happens when a prefetch lands for a line a demand miss also
+// fetched).
+func (c *Cache) Fill(addr mem.Addr, isStore, conflict bool) Eviction {
+	set := c.geom.Set(addr)
+	tag := c.geom.Tag(addr)
+	ways := c.set(set)
+	c.clock++
+	if w := findWay(ways, tag); w >= 0 {
+		ways[w].lastUse = c.clock
+		if isStore {
+			ways[w].Dirty = true
+		}
+		return Eviction{}
+	}
+	c.stats.Fills++
+	victim := -1
+	for i := range ways {
+		if !ways[i].Valid {
+			victim = i
+			break
+		}
+		if victim < 0 || ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	var ev Eviction
+	if ways[victim].Valid {
+		c.stats.Evictions++
+		if ways[victim].Dirty {
+			c.stats.Writebacks++
+		}
+		ev = Eviction{
+			Occurred: true,
+			Line:     mem.LineAddr(uint64(ways[victim].Tag)<<uint64Log2(c.geom.Sets()) | set),
+			Dirty:    ways[victim].Dirty,
+			Conflict: ways[victim].Conflict,
+		}
+	}
+	ways[victim] = Line{Tag: tag, Valid: true, Dirty: isStore, Conflict: conflict, lastUse: c.clock}
+	return ev
+}
+
+// Invalidate removes the line holding addr, returning its state and whether
+// it was present. Victim-cache swaps use this to pull a line out of the
+// cache without recording an eviction.
+func (c *Cache) Invalidate(addr mem.Addr) (Line, bool) {
+	ways := c.set(c.geom.Set(addr))
+	w := findWay(ways, c.geom.Tag(addr))
+	if w < 0 {
+		return Line{}, false
+	}
+	l := ways[w]
+	ways[w] = Line{}
+	return l, true
+}
+
+// LinesInSet returns copies of the valid lines currently in set s, for
+// diagnostics and tests.
+func (c *Cache) LinesInSet(s uint64) []Line {
+	ways := c.set(s)
+	out := make([]Line, 0, len(ways))
+	for _, l := range ways {
+		if l.Valid {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ValidLines returns the total number of valid lines in the cache.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line (statistics are preserved).
+func (c *Cache) Flush() {
+	for i := range c.ways {
+		c.ways[i] = Line{}
+	}
+}
+
+// uint64Log2 returns log2 of a positive power of two as a shift amount.
+func uint64Log2(v int) uint {
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

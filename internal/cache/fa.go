@@ -1,0 +1,190 @@
+package cache
+
+import "repro/internal/mem"
+
+// FullyAssociative is a fully-associative cache over line addresses with
+// true LRU replacement, implemented as a hash map plus an intrusive
+// doubly-linked recency list. It backs the classic (Hill) miss classifier:
+// a reference that misses a set-associative cache but hits a
+// fully-associative LRU cache of equal capacity is a conflict miss.
+//
+// The structure is also reused directly as the storage for the small
+// fully-associative assist buffers (victim/prefetch/bypass), which the
+// paper sizes at 8–16 entries.
+type FullyAssociative struct {
+	capacity int
+	entries  map[mem.LineAddr]*faNode
+	head     *faNode // most recently used
+	tail     *faNode // least recently used
+	free     []*faNode
+
+	hits, misses uint64
+}
+
+type faNode struct {
+	line       mem.LineAddr
+	prev, next *faNode
+}
+
+// NewFullyAssociative creates a fully-associative LRU cache holding up to
+// capacity lines. Capacity must be positive.
+func NewFullyAssociative(capacity int) *FullyAssociative {
+	if capacity <= 0 {
+		panic("cache: fully-associative capacity must be positive")
+	}
+	f := &FullyAssociative{
+		capacity: capacity,
+		entries:  make(map[mem.LineAddr]*faNode, capacity),
+	}
+	return f
+}
+
+// Capacity returns the maximum number of lines held.
+func (f *FullyAssociative) Capacity() int { return f.capacity }
+
+// Len returns the number of lines currently held.
+func (f *FullyAssociative) Len() int { return len(f.entries) }
+
+// Hits and Misses return the access counters maintained by Reference.
+func (f *FullyAssociative) Hits() uint64   { return f.hits }
+func (f *FullyAssociative) Misses() uint64 { return f.misses }
+
+// Reference performs an LRU reference to line: on hit the line moves to
+// MRU and Reference returns true; on miss the line is inserted (evicting
+// LRU if full) and Reference returns false. This single operation is the
+// oracle classifier's whole per-access workload.
+func (f *FullyAssociative) Reference(line mem.LineAddr) bool {
+	if n, ok := f.entries[line]; ok {
+		f.hits++
+		f.moveToFront(n)
+		return true
+	}
+	f.misses++
+	f.Insert(line)
+	return false
+}
+
+// Contains reports presence without updating recency.
+func (f *FullyAssociative) Contains(line mem.LineAddr) bool {
+	_, ok := f.entries[line]
+	return ok
+}
+
+// Touch moves line to MRU if present, reporting whether it was.
+func (f *FullyAssociative) Touch(line mem.LineAddr) bool {
+	n, ok := f.entries[line]
+	if !ok {
+		return false
+	}
+	f.moveToFront(n)
+	return true
+}
+
+// Insert adds line at MRU, evicting the LRU line if full. It returns the
+// evicted line and whether an eviction happened. Inserting a present line
+// just refreshes it.
+func (f *FullyAssociative) Insert(line mem.LineAddr) (evicted mem.LineAddr, ok bool) {
+	if n, present := f.entries[line]; present {
+		f.moveToFront(n)
+		return 0, false
+	}
+	if len(f.entries) >= f.capacity {
+		lru := f.tail
+		f.remove(lru)
+		delete(f.entries, lru.line)
+		evicted, ok = lru.line, true
+		f.free = append(f.free, lru)
+	}
+	f.insertFront(line)
+	return evicted, ok
+}
+
+// Remove deletes line, reporting whether it was present.
+func (f *FullyAssociative) Remove(line mem.LineAddr) bool {
+	n, ok := f.entries[line]
+	if !ok {
+		return false
+	}
+	f.remove(n)
+	delete(f.entries, line)
+	f.free = append(f.free, n)
+	return true
+}
+
+// LRU returns the least-recently-used line, if any.
+func (f *FullyAssociative) LRU() (mem.LineAddr, bool) {
+	if f.tail == nil {
+		return 0, false
+	}
+	return f.tail.line, true
+}
+
+// Lines returns the resident lines from MRU to LRU order.
+func (f *FullyAssociative) Lines() []mem.LineAddr {
+	out := make([]mem.LineAddr, 0, len(f.entries))
+	for n := f.head; n != nil; n = n.next {
+		out = append(out, n.line)
+	}
+	return out
+}
+
+// Reset empties the cache and clears counters.
+func (f *FullyAssociative) Reset() {
+	f.entries = make(map[mem.LineAddr]*faNode, f.capacity)
+	f.head, f.tail = nil, nil
+	f.free = nil
+	f.hits, f.misses = 0, 0
+}
+
+func (f *FullyAssociative) insertFront(line mem.LineAddr) {
+	var n *faNode
+	if len(f.free) > 0 {
+		n = f.free[len(f.free)-1]
+		f.free = f.free[:len(f.free)-1]
+		*n = faNode{line: line}
+	} else {
+		n = &faNode{line: line}
+	}
+	if len(f.entries) >= f.capacity {
+		// Caller must have evicted first; enforce the invariant loudly.
+		panic("cache: fully-associative insert past capacity")
+	}
+	f.entries[line] = n
+	n.next = f.head
+	if f.head != nil {
+		f.head.prev = n
+	}
+	f.head = n
+	if f.tail == nil {
+		f.tail = n
+	}
+}
+
+func (f *FullyAssociative) moveToFront(n *faNode) {
+	if f.head == n {
+		return
+	}
+	f.remove(n)
+	n.prev, n.next = nil, f.head
+	if f.head != nil {
+		f.head.prev = n
+	}
+	f.head = n
+	if f.tail == nil {
+		f.tail = n
+	}
+}
+
+func (f *FullyAssociative) remove(n *faNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		f.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		f.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestFAReferenceBasics(t *testing.T) {
+	f := NewFullyAssociative(2)
+	if f.Reference(1) {
+		t.Fatal("cold reference should miss")
+	}
+	if !f.Reference(1) {
+		t.Fatal("repeat reference should hit")
+	}
+	f.Reference(2)
+	f.Reference(3) // evicts 1 (LRU)
+	if f.Contains(1) {
+		t.Error("1 should have been evicted")
+	}
+	if !f.Contains(2) || !f.Contains(3) {
+		t.Error("2 and 3 should be resident")
+	}
+	if f.Hits() != 1 || f.Misses() != 3 {
+		t.Errorf("hits=%d misses=%d", f.Hits(), f.Misses())
+	}
+}
+
+func TestFALRUOrder(t *testing.T) {
+	f := NewFullyAssociative(3)
+	f.Reference(1)
+	f.Reference(2)
+	f.Reference(3)
+	f.Reference(1) // 1 -> MRU; LRU is 2
+	if lru, ok := f.LRU(); !ok || lru != 2 {
+		t.Errorf("LRU = %d, want 2", lru)
+	}
+	lines := f.Lines()
+	if len(lines) != 3 || lines[0] != 1 || lines[2] != 2 {
+		t.Errorf("MRU..LRU = %v", lines)
+	}
+}
+
+func TestFAInsertEvictsLRU(t *testing.T) {
+	f := NewFullyAssociative(2)
+	f.Insert(10)
+	f.Insert(20)
+	ev, ok := f.Insert(30)
+	if !ok || ev != 10 {
+		t.Errorf("evicted %d ok=%v, want 10", ev, ok)
+	}
+	// Inserting a present line refreshes without eviction.
+	if _, ok := f.Insert(20); ok {
+		t.Error("re-insert must not evict")
+	}
+}
+
+func TestFATouchAndRemove(t *testing.T) {
+	f := NewFullyAssociative(2)
+	f.Insert(1)
+	f.Insert(2)
+	if !f.Touch(1) { // 2 becomes LRU
+		t.Fatal("touch of present line failed")
+	}
+	if f.Touch(99) {
+		t.Error("touch of absent line should fail")
+	}
+	if lru, _ := f.LRU(); lru != 2 {
+		t.Errorf("LRU = %d, want 2", lru)
+	}
+	if !f.Remove(2) || f.Remove(2) {
+		t.Error("remove semantics wrong")
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}
+
+func TestFAReset(t *testing.T) {
+	f := NewFullyAssociative(4)
+	f.Reference(1)
+	f.Reference(1)
+	f.Reset()
+	if f.Len() != 0 || f.Hits() != 0 || f.Misses() != 0 {
+		t.Error("reset should clear contents and counters")
+	}
+}
+
+// TestFAInclusionProperty verifies the stack (inclusion) property of LRU:
+// for the same reference stream, every hit in a smaller LRU cache is also
+// a hit in a larger one. The classic conflict/capacity taxonomy depends on
+// this property.
+func TestFAInclusionProperty(t *testing.T) {
+	f := func(refs []uint8) bool {
+		small := NewFullyAssociative(4)
+		large := NewFullyAssociative(16)
+		for _, r := range refs {
+			line := mem.LineAddr(r % 64)
+			hitS := small.Reference(line)
+			hitL := large.Reference(line)
+			if hitS && !hitL {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFANeverExceedsCapacity is a property over arbitrary operation mixes.
+func TestFANeverExceedsCapacity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		fa := NewFullyAssociative(8)
+		for _, op := range ops {
+			line := mem.LineAddr(op & 0xff)
+			switch op >> 14 {
+			case 0, 1:
+				fa.Reference(line)
+			case 2:
+				fa.Insert(line)
+			default:
+				fa.Remove(line)
+			}
+			if fa.Len() > 8 {
+				return false
+			}
+		}
+		// The recency list and the map must agree in size.
+		return len(fa.Lines()) == fa.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFAWorkingSetFitsNoEviction(t *testing.T) {
+	f := NewFullyAssociative(64)
+	// Cyclic references over 32 lines fit: after warmup, all hits.
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 32; i++ {
+			hit := f.Reference(mem.LineAddr(i))
+			if pass > 0 && !hit {
+				t.Fatalf("pass %d line %d missed in fitting working set", pass, i)
+			}
+		}
+	}
+	// Cyclic references over 65 lines thrash: all misses in steady state.
+	g := NewFullyAssociative(64)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 65; i++ {
+			hit := g.Reference(mem.LineAddr(i))
+			if pass > 0 && hit {
+				t.Fatalf("pass %d line %d hit in thrashing working set", pass, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package classify implements the classic ("oracle") miss taxonomy of
+// Hill's thesis — compulsory, capacity, conflict — and measures the Miss
+// Classification Table's accuracy against it. This is the ground truth
+// behind the paper's Figures 1 and 2.
+//
+// Classic classification is defined by simulation: a reference is
+//
+//   - compulsory if the line has never been referenced before;
+//   - a conflict miss if it misses the real (set-associative) cache but
+//     hits a fully-associative LRU cache of the same total capacity; and
+//   - a capacity miss if it misses both.
+//
+// Following the paper, compulsory misses are grouped with capacity misses
+// ("we'll group compulsory and capacity misses together and call them
+// capacity misses for simplicity").
+package classify
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Kind is the oracle's verdict for a miss.
+type Kind uint8
+
+const (
+	// Compulsory is a first-ever reference to the line.
+	Compulsory Kind = iota
+	// Capacity misses both the real cache and the equal-capacity
+	// fully-associative LRU cache.
+	Capacity
+	// Conflict misses the real cache but hits the fully-associative cache.
+	Conflict
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Compulsory:
+		return "compulsory"
+	case Capacity:
+		return "capacity"
+	case Conflict:
+		return "conflict"
+	default:
+		return "unknown"
+	}
+}
+
+// Grouped folds the oracle verdict into the paper's two-way taxonomy.
+func (k Kind) Grouped() core.Class {
+	if k == Conflict {
+		return core.Conflict
+	}
+	return core.Capacity
+}
+
+// Oracle tracks the state needed for classic classification alongside a
+// real cache: the set of lines ever touched and a fully-associative LRU
+// cache of equal capacity. The oracle must observe every access (hits
+// included) to keep the fully-associative recency exact.
+type Oracle struct {
+	geom    mem.Geometry
+	fa      *cache.FullyAssociative
+	touched map[mem.LineAddr]struct{}
+
+	counts [3]uint64
+}
+
+// NewOracle builds an oracle for a cache with the given configuration.
+func NewOracle(cfg cache.Config) (*Oracle, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := mem.NewGeometry(cfg.LineSize, cfg.Sets())
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{
+		geom:    geom,
+		fa:      cache.NewFullyAssociative(cfg.Size / cfg.LineSize),
+		touched: make(map[mem.LineAddr]struct{}, 1<<16),
+	}, nil
+}
+
+// MustNewOracle is NewOracle that panics on error.
+func MustNewOracle(cfg cache.Config) *Oracle {
+	o, err := NewOracle(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Observe records one access and returns the oracle verdict the access
+// *would* have if the real cache missed. The caller decides whether the
+// real cache actually missed; the oracle itself is cache-independent given
+// the configuration. realHit must report whether the access hit the real
+// cache (the verdict is only meaningful for misses, but the
+// fully-associative state must advance on every access either way).
+func (o *Oracle) Observe(addr mem.Addr, realHit bool) Kind {
+	line := o.geom.Line(addr)
+	_, seen := o.touched[line]
+	if !seen {
+		o.touched[line] = struct{}{}
+	}
+	faHit := o.fa.Reference(line)
+	if realHit {
+		return Compulsory // ignored by callers for hits
+	}
+	var k Kind
+	switch {
+	case !seen:
+		k = Compulsory
+	case faHit:
+		k = Conflict
+	default:
+		k = Capacity
+	}
+	o.counts[k]++
+	return k
+}
+
+// Counts returns how many misses the oracle has labeled compulsory,
+// capacity, and conflict.
+func (o *Oracle) Counts() (compulsory, capacity, conflict uint64) {
+	return o.counts[Compulsory], o.counts[Capacity], o.counts[Conflict]
+}
+
+// Accuracy accumulates the agreement between the MCT's on-the-fly verdicts
+// and the oracle's classic verdicts, per the paper's definition: conflict
+// accuracy is the fraction of oracle-conflict misses the MCT also labeled
+// conflict, and capacity accuracy is the fraction of oracle-capacity
+// (including compulsory) misses the MCT labeled capacity.
+type Accuracy struct {
+	ConflictTotal   uint64 // oracle said conflict
+	ConflictAgreed  uint64 // ... and MCT agreed
+	CapacityTotal   uint64 // oracle said capacity/compulsory
+	CapacityAgreed  uint64 // ... and MCT agreed
+	CompulsoryTotal uint64 // subset of CapacityTotal that was compulsory
+}
+
+// Record adds one classified miss.
+func (a *Accuracy) Record(oracle Kind, mct core.Class) {
+	if oracle == Conflict {
+		a.ConflictTotal++
+		if mct == core.Conflict {
+			a.ConflictAgreed++
+		}
+		return
+	}
+	a.CapacityTotal++
+	if oracle == Compulsory {
+		a.CompulsoryTotal++
+	}
+	if mct == core.Capacity {
+		a.CapacityAgreed++
+	}
+}
+
+// Merge adds another accumulator's counts into a.
+func (a *Accuracy) Merge(b Accuracy) {
+	a.ConflictTotal += b.ConflictTotal
+	a.ConflictAgreed += b.ConflictAgreed
+	a.CapacityTotal += b.CapacityTotal
+	a.CapacityAgreed += b.CapacityAgreed
+	a.CompulsoryTotal += b.CompulsoryTotal
+}
+
+// Misses returns the total number of recorded misses.
+func (a Accuracy) Misses() uint64 { return a.ConflictTotal + a.CapacityTotal }
+
+// ConflictAccuracy returns the fraction of true conflict misses identified.
+func (a Accuracy) ConflictAccuracy() float64 {
+	if a.ConflictTotal == 0 {
+		return 0
+	}
+	return float64(a.ConflictAgreed) / float64(a.ConflictTotal)
+}
+
+// CapacityAccuracy returns the fraction of true capacity misses identified.
+func (a Accuracy) CapacityAccuracy() float64 {
+	if a.CapacityTotal == 0 {
+		return 0
+	}
+	return float64(a.CapacityAgreed) / float64(a.CapacityTotal)
+}
+
+// OverallAccuracy returns the fraction of all misses classified in
+// agreement with the oracle — the paper's "correctly identifies 87% of
+// misses in the worst case" metric.
+func (a Accuracy) OverallAccuracy() float64 {
+	if a.Misses() == 0 {
+		return 0
+	}
+	return float64(a.ConflictAgreed+a.CapacityAgreed) / float64(a.Misses())
+}
+
+// ConflictShare returns the fraction of misses the oracle labels conflict,
+// used to check that workloads exhibit an "interesting mix".
+func (a Accuracy) ConflictShare() float64 {
+	if a.Misses() == 0 {
+		return 0
+	}
+	return float64(a.ConflictTotal) / float64(a.Misses())
+}
+
+// Run drives a full accuracy measurement: it plays every access through a
+// classifying cache and the oracle in lockstep and accumulates agreement.
+// It is the engine behind Figures 1 and 2.
+type Run struct {
+	CC     *core.ClassifyingCache
+	Oracle *Oracle
+	Acc    Accuracy
+}
+
+// NewRun builds the lockstep measurement over a cache configuration with an
+// MCT storing tagBits bits per entry (0 = full tags).
+func NewRun(cfg cache.Config, tagBits int) (*Run, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := core.Attach(c, tagBits)
+	if err != nil {
+		return nil, err
+	}
+	o, err := NewOracle(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{CC: cc, Oracle: o}, nil
+}
+
+// Access plays one access through both models, updating the accuracy
+// accumulator on a miss.
+func (r *Run) Access(addr mem.Addr, isStore bool) {
+	hit, ev := r.CC.Access(addr, isStore)
+	kind := r.Oracle.Observe(addr, hit)
+	if !hit {
+		r.Acc.Record(kind, ev.Class)
+	}
+}

@@ -1,0 +1,409 @@
+// Package cpu is the trace-driven out-of-order processor timing model that
+// stands in for SMTSIM. It models the paper's Section-4 machine: a 7-stage
+// pipeline, 8-instruction fetch and issue, two 32-entry instruction queues
+// (integer and floating point), four load/store units, and a non-blocking
+// memory interface supplied by internal/hier.
+//
+// The model is a scoreboarded ROB machine: instructions dispatch in order
+// into a reorder buffer and their queue, issue out of order when their
+// source registers are ready and a functional unit is free, and retire in
+// order. Branches are predicted with a 2-bit-counter table at fetch;
+// a misprediction stops fetch until the branch issues plus a pipeline
+// refill penalty, approximating SMTSIM's wrong-path fetch cost without
+// executing wrong-path instructions (documented substitution; the trace
+// contains no wrong-path memory references, which slightly understates
+// cache pressure but applies equally to every configuration compared).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/hier"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Config sets the pipeline parameters. DefaultConfig reproduces Sec 4.
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	IntQSize    int
+	FPQSize     int
+	ROBSize     int
+	LSUs        int
+	IntALUs     int
+	FPALUs      int
+	PredictorSz int // 2-bit counter entries (power of two)
+	// MispredictPenalty is the fetch-refill cost after a mispredicted
+	// branch resolves (7-stage pipeline front end).
+	MispredictPenalty int
+	// MaxCycles bounds a run defensively; 0 means no bound.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's processor.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        8,
+		IssueWidth:        8,
+		IntQSize:          32,
+		FPQSize:           32,
+		ROBSize:           64,
+		LSUs:              4,
+		IntALUs:           8,
+		FPALUs:            4,
+		PredictorSz:       4096,
+		MispredictPenalty: 6,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.ROBSize <= 0 {
+		return fmt.Errorf("cpu: widths and ROB size must be positive")
+	}
+	if c.IntQSize <= 0 || c.FPQSize <= 0 || c.LSUs <= 0 || c.IntALUs <= 0 || c.FPALUs <= 0 {
+		return fmt.Errorf("cpu: queue sizes and unit counts must be positive")
+	}
+	if c.PredictorSz <= 0 || c.PredictorSz&(c.PredictorSz-1) != 0 {
+		return fmt.Errorf("cpu: predictor size must be a positive power of two, got %d", c.PredictorSz)
+	}
+	return nil
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	// LoadStallRetries counts load issue attempts rejected because the
+	// MSHRs were full (the paper's "further misses stall the pipeline").
+	LoadStallRetries uint64
+}
+
+// IPC returns instructions per cycle.
+func (m Metrics) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Instructions) / float64(m.Cycles)
+}
+
+// MispredictRate returns mispredicted branches over branches.
+func (m Metrics) MispredictRate() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return float64(m.Mispredicts) / float64(m.Branches)
+}
+
+// robEntry is one in-flight instruction. Source operands are renamed at
+// dispatch to (ROB index, sequence) pairs identifying their producers; a
+// sequence mismatch means the producer has retired and the value is ready.
+type robEntry struct {
+	in     trace.Instr
+	seq    uint64
+	issued bool
+	done   uint64
+
+	p1, p2       int // producer ROB slots, -1 when the value is ready
+	p1seq, p2seq uint64
+}
+
+// CPU is the processor state for one run.
+type CPU struct {
+	cfg  Config
+	h    *hier.Hierarchy
+	pred []uint8
+
+	rob        []robEntry
+	head, tail int // ring; count tracks occupancy
+	count      int
+	intQ, fpQ  int // unissued occupancy per queue
+
+	// rat is the register alias table: the ROB slot and sequence number of
+	// each architectural register's latest in-flight producer.
+	rat    [trace.NumRegs]int
+	ratSeq [trace.NumRegs]uint64
+	seq    uint64
+
+	fetchResume  uint64
+	blockedOn    int // ROB slot of unresolved mispredicted branch, -1 none
+	metrics      Metrics
+	streamEnded  bool
+	retireTarget uint64
+
+	// Instruction-fetch line tracking: fetchLine is 1 + the line of the
+	// last I-fetch (0 = none yet); pending holds an instruction stalled on
+	// an instruction-cache miss.
+	fetchLine mem.LineAddr
+	pending   bool
+	pendingIn trace.Instr
+}
+
+// New builds a CPU over a memory hierarchy.
+func New(cfg Config, h *hier.Hierarchy) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &CPU{
+		cfg:       cfg,
+		h:         h,
+		pred:      make([]uint8, cfg.PredictorSz),
+		rob:       make([]robEntry, cfg.ROBSize),
+		blockedOn: -1,
+	}
+	for i := range c.rat {
+		c.rat[i] = -1
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, h *hier.Hierarchy) *CPU {
+	c, err := New(cfg, h)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Run executes up to maxInstrs instructions from the stream (or until it
+// ends) and returns the metrics. A zero maxInstrs means run to stream end.
+func (c *CPU) Run(s trace.Stream, maxInstrs uint64) Metrics {
+	c.retireTarget = maxInstrs
+	cycle := uint64(0)
+	for {
+		cycle++
+		if c.cfg.MaxCycles != 0 && cycle > c.cfg.MaxCycles {
+			break
+		}
+		c.retire(cycle)
+		if c.retireTarget != 0 && c.metrics.Instructions >= c.retireTarget {
+			break
+		}
+		c.issue(cycle)
+		c.fetch(cycle, s)
+		if c.count == 0 && c.streamEnded {
+			break
+		}
+	}
+	c.metrics.Cycles = cycle
+	return c.metrics
+}
+
+// retire commits completed instructions in order, up to issue width.
+func (c *CPU) retire(cycle uint64) {
+	for n := 0; n < c.cfg.IssueWidth && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if !e.issued || e.done > cycle {
+			return
+		}
+		c.metrics.Instructions++
+		switch e.in.Op {
+		case trace.Load:
+			c.metrics.Loads++
+		case trace.Store:
+			c.metrics.Stores++
+		case trace.Branch:
+			c.metrics.Branches++
+		}
+		c.head = (c.head + 1) % c.cfg.ROBSize
+		c.count--
+	}
+}
+
+// issue wakes up ready instructions out of order, respecting functional
+// unit counts and issue width.
+func (c *CPU) issue(cycle uint64) {
+	issued, lsu, ialu, falu := 0, 0, 0, 0
+	for i, idx := 0, c.head; i < c.count && issued < c.cfg.IssueWidth; i, idx = i+1, (idx+1)%c.cfg.ROBSize {
+		e := &c.rob[idx]
+		if e.issued {
+			continue
+		}
+		if !c.operandReady(e.p1, e.p1seq, cycle) || !c.operandReady(e.p2, e.p2seq, cycle) {
+			continue
+		}
+		fp := e.in.Op.IsFP()
+		switch {
+		case e.in.Op.IsMem():
+			if lsu >= c.cfg.LSUs {
+				continue
+			}
+		case fp:
+			if falu >= c.cfg.FPALUs {
+				continue
+			}
+		default:
+			if ialu >= c.cfg.IntALUs {
+				continue
+			}
+		}
+
+		var done uint64
+		switch e.in.Op {
+		case trace.Load:
+			res := c.h.Access(cycle, mem.Access{Addr: e.in.Addr, PC: e.in.PC, Type: mem.Load})
+			if res.Stall {
+				// MSHRs exhausted: the load waits; it will retry. Count it
+				// and consume the LSU slot so younger loads don't bypass
+				// the stall this cycle.
+				c.metrics.LoadStallRetries++
+				lsu++
+				continue
+			}
+			done = res.Done
+		case trace.Store:
+			// Stores drain through a store buffer: the hierarchy sees the
+			// access (bandwidth, MSHR, classification) but dependents and
+			// retirement do not wait for the line.
+			res := c.h.Access(cycle, mem.Access{Addr: e.in.Addr, PC: e.in.PC, Type: mem.Store})
+			if res.Stall {
+				c.metrics.LoadStallRetries++
+				lsu++
+				continue
+			}
+			done = cycle + 1
+		default:
+			done = cycle + uint64(e.in.Op.ExecLatency())
+		}
+
+		e.issued = true
+		e.done = done
+		if e.in.Op.IsMem() {
+			lsu++
+		} else if fp {
+			falu++
+		} else {
+			ialu++
+		}
+		issued++
+		if fp {
+			c.fpQ--
+		} else {
+			c.intQ--
+		}
+		// A resolving mispredicted branch restarts fetch after the refill
+		// penalty.
+		if c.blockedOn == idx {
+			c.blockedOn = -1
+			c.fetchResume = done + uint64(c.cfg.MispredictPenalty)
+		}
+	}
+}
+
+// fetch brings new instructions into the ROB and queues, in order, unless
+// the front end is squashed by an unresolved misprediction. When an
+// instruction cache is attached to the hierarchy, crossing into a new
+// instruction line costs an I-fetch; a miss stalls the front end until
+// the line arrives.
+func (c *CPU) fetch(cycle uint64, s trace.Stream) {
+	if c.streamEnded || cycle < c.fetchResume || c.blockedOn >= 0 {
+		return
+	}
+	if c.retireTarget != 0 && c.metrics.Instructions >= c.retireTarget {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.count >= c.cfg.ROBSize {
+			return
+		}
+		// Peek queue-space before consuming. Since streams are infinite or
+		// long, consuming then failing to place would lose instructions;
+		// stop before reading when either queue is full.
+		if c.intQ >= c.cfg.IntQSize || c.fpQ >= c.cfg.FPQSize {
+			return
+		}
+		var in trace.Instr
+		if c.pending {
+			// An instruction held back by an instruction-cache stall.
+			in = c.pendingIn
+			c.pending = false
+		} else if !s.Next(&in) {
+			c.streamEnded = true
+			return
+		}
+		// Crossing into a new instruction line costs an I-fetch; a miss
+		// holds the instruction and stalls the front end until the line
+		// arrives (a no-op single-cycle hit when no I-cache is attached).
+		if line := mem.LineAddr(uint64(in.PC)>>6) + 1; line != c.fetchLine {
+			res := c.h.IFetch(cycle, in.PC)
+			if res.Stall {
+				c.fetchResume = res.RetryAt
+				c.pendingIn, c.pending = in, true
+				return
+			}
+			c.fetchLine = line
+			if res.Done > cycle+1 {
+				c.fetchResume = res.Done
+				c.pendingIn, c.pending = in, true
+				return
+			}
+		}
+		idx := c.tail
+		c.seq++
+		e := robEntry{in: in, seq: c.seq, p1: -1, p2: -1}
+		if in.Src1 != trace.RegZero && c.rat[in.Src1] >= 0 {
+			e.p1, e.p1seq = c.rat[in.Src1], c.ratSeq[in.Src1]
+		}
+		if in.Src2 != trace.RegZero && c.rat[in.Src2] >= 0 {
+			e.p2, e.p2seq = c.rat[in.Src2], c.ratSeq[in.Src2]
+		}
+		c.rob[idx] = e
+		if in.Dest != trace.RegZero {
+			c.rat[in.Dest] = idx
+			c.ratSeq[in.Dest] = c.seq
+		}
+		c.tail = (c.tail + 1) % c.cfg.ROBSize
+		c.count++
+		if in.Op.IsFP() {
+			c.fpQ++
+		} else {
+			c.intQ++
+		}
+		if in.Op == trace.Branch {
+			if c.predict(in.PC) != in.Taken {
+				c.metrics.Mispredicts++
+				c.blockedOn = idx
+				c.train(in.PC, in.Taken)
+				return // fetch squashed until the branch resolves
+			}
+			c.train(in.PC, in.Taken)
+		}
+	}
+}
+
+// operandReady reports whether a renamed operand's value is available at
+// the given cycle: either the producer slot was recycled (it retired) or
+// it has issued and completed.
+func (c *CPU) operandReady(slot int, seq, cycle uint64) bool {
+	if slot < 0 {
+		return true
+	}
+	p := &c.rob[slot]
+	if p.seq != seq {
+		return true // producer retired; value is architectural state
+	}
+	return p.issued && p.done <= cycle
+}
+
+// predict reads the 2-bit counter for pc.
+func (c *CPU) predict(pc mem.Addr) bool {
+	return c.pred[(uint64(pc)>>2)&uint64(c.cfg.PredictorSz-1)] >= 2
+}
+
+// train updates the counter toward the outcome.
+func (c *CPU) train(pc mem.Addr, taken bool) {
+	i := (uint64(pc) >> 2) & uint64(c.cfg.PredictorSz-1)
+	if taken {
+		if c.pred[i] < 3 {
+			c.pred[i]++
+		}
+	} else if c.pred[i] > 0 {
+		c.pred[i]--
+	}
+}

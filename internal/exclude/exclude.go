@@ -1,0 +1,321 @@
+// Package exclude implements the cache-exclusion architectures of Section
+// 5.3: Johnson and Hwu's memory access table (MAT) and four Miss
+// Classification Table alternatives (conflict, conflict-history, capacity,
+// capacity-history). Excluded misses bypass the L1 into a 16-entry bypass
+// buffer, where they remain until bumped.
+//
+// The paper's point is a cost/complexity one: the MAT must be read,
+// incremented, and written by every load/store unit every cycle, while the
+// MCT is touched only on misses — and the simple capacity filter still
+// beats the MAT on both hit rate and performance.
+package exclude
+
+import (
+	"fmt"
+
+	"repro/internal/assist"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Mode selects the exclusion policy.
+type Mode uint8
+
+const (
+	// ModeMAT is Johnson and Hwu's memory access table.
+	ModeMAT Mode = iota
+	// ModeConflict bypasses misses the MCT classifies as conflict.
+	ModeConflict
+	// ModeConflictHistory bypasses misses from regions with a history of
+	// conflict misses.
+	ModeConflictHistory
+	// ModeCapacity bypasses misses the MCT classifies as capacity — the
+	// paper's winner.
+	ModeCapacity
+	// ModeCapacityHistory bypasses misses from regions with a history of
+	// capacity misses.
+	ModeCapacityHistory
+)
+
+// String names the mode as the experiments label it.
+func (m Mode) String() string {
+	switch m {
+	case ModeMAT:
+		return "excl-mat"
+	case ModeConflict:
+		return "excl-conflict"
+	case ModeConflictHistory:
+		return "excl-conflict-hist"
+	case ModeCapacity:
+		return "excl-capacity"
+	case ModeCapacityHistory:
+		return "excl-capacity-hist"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Modes lists the Figure-5 policies in presentation order.
+var Modes = []Mode{ModeMAT, ModeConflict, ModeConflictHistory, ModeCapacity, ModeCapacityHistory}
+
+const (
+	// regionShift is Johnson and Hwu's 1KB macroblock granularity.
+	regionShift = 10
+	// matEntries is the paper's 1K-entry direct-mapped MAT.
+	matEntries = 1024
+	// counterMax saturates the history-table region counters.
+	counterMax = 63
+	// matCounterMax saturates the MAT's per-macroblock access counters;
+	// Johnson and Hwu's table stores narrow counters per 1KB block, so
+	// hot/cold discrimination is coarse.
+	matCounterMax = 15
+	// DefaultEntries is the bypass buffer size: "we found [the Johnson
+	// algorithm] to do poorly with an 8-entry buffer, which is why we use
+	// the slightly larger structure here."
+	DefaultEntries = 16
+)
+
+// matEntry is one tagged region counter.
+type matEntry struct {
+	tag   uint64
+	count uint8
+	valid bool
+}
+
+// histEntry tracks per-region miss-classification history for the history
+// modes (the paper's "structure somewhat similar to the MAT").
+type histEntry struct {
+	tag      uint64
+	conflict uint8
+	capacity uint8
+	valid    bool
+}
+
+// System is the cache-exclusion assist system.
+type System struct {
+	mode   Mode
+	noSeed bool
+	l1     *cache.Cache
+	mct    *core.MCT
+	buffer *assist.Buffer
+	geom   mem.Geometry
+
+	mat  []matEntry
+	hist []histEntry
+
+	stats assist.Stats
+}
+
+// New builds an exclusion system with an entries-deep bypass buffer
+// (DefaultEntries reproduces the paper).
+func New(cfg cache.Config, tagBits, entries int, mode Mode) (*System, error) {
+	l1, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mct, err := core.New(core.Config{Sets: cfg.Sets(), TagBits: tagBits})
+	if err != nil {
+		return nil, err
+	}
+	if entries <= 0 {
+		return nil, fmt.Errorf("exclude: buffer needs positive entries, got %d", entries)
+	}
+	s := &System{
+		mode:   mode,
+		l1:     l1,
+		mct:    mct,
+		buffer: assist.NewBuffer(entries),
+		geom:   l1.Geometry(),
+	}
+	switch mode {
+	case ModeMAT:
+		s.mat = make([]matEntry, matEntries)
+	case ModeConflictHistory, ModeCapacityHistory:
+		s.hist = make([]histEntry, matEntries)
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg cache.Config, tagBits, entries int, mode Mode) *System {
+	s, err := New(cfg, tagBits, entries, mode)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// DisableSeeding turns off the Sec-5.3 MCT seeding of bypassed lines. It
+// exists for the ablation benchmark that demonstrates why the paper needed
+// the seeding rule: without it, a bypassed line can never later be
+// classified as a conflict miss.
+func (s *System) DisableSeeding() { s.noSeed = true }
+
+// Name implements assist.System.
+func (s *System) Name() string { return s.mode.String() }
+
+// Buffer exposes the bypass buffer.
+func (s *System) Buffer() *assist.Buffer { return s.buffer }
+
+// L1 exposes the underlying cache.
+func (s *System) L1() *cache.Cache { return s.l1 }
+
+// region decomposes an address into the MAT's (index, tag).
+func region(addr mem.Addr) (idx uint64, tag uint64) {
+	r := uint64(addr) >> regionShift
+	return r % matEntries, r / matEntries
+}
+
+// touchMAT performs the per-access MAT update: increment the region's
+// saturating counter, with tag-conflict hysteresis (a mismatching region
+// decays the resident counter and claims the entry when it reaches zero).
+func (s *System) touchMAT(addr mem.Addr) {
+	idx, tag := region(addr)
+	e := &s.mat[idx]
+	if !e.valid || e.tag != tag {
+		if e.valid && e.count > 0 {
+			e.count--
+			return
+		}
+		*e = matEntry{tag: tag, count: 1, valid: true}
+		return
+	}
+	if e.count < matCounterMax {
+		e.count++
+	}
+}
+
+// matCount reads the counter for addr's region (0 when another region owns
+// the entry).
+func (s *System) matCount(addr mem.Addr) uint8 {
+	idx, tag := region(addr)
+	e := s.mat[idx]
+	if !e.valid || e.tag != tag {
+		return 0
+	}
+	return e.count
+}
+
+// recordHistory notes a classified miss for addr's region.
+func (s *System) recordHistory(addr mem.Addr, class core.Class) {
+	idx, tag := region(addr)
+	e := &s.hist[idx]
+	if !e.valid || e.tag != tag {
+		*e = histEntry{tag: tag, valid: true}
+	}
+	if class == core.Conflict {
+		if e.conflict < counterMax {
+			e.conflict++
+		}
+	} else if e.capacity < counterMax {
+		e.capacity++
+	}
+}
+
+// shouldExclude applies the mode's exclusion predicate to a classified
+// miss.
+func (s *System) shouldExclude(addr mem.Addr, class core.Class) bool {
+	switch s.mode {
+	case ModeMAT:
+		// Exclude when the missing line's region is colder than the
+		// region of the line it would displace.
+		victim, full := s.l1.VictimCandidate(addr)
+		if !full {
+			return false
+		}
+		victimAddr := s.geom.Compose(victim.Tag, s.geom.Set(addr))
+		return s.matCount(addr) < s.matCount(victimAddr)
+	case ModeConflict:
+		return class == core.Conflict
+	case ModeCapacity:
+		return class == core.Capacity
+	case ModeConflictHistory:
+		idx, tag := region(addr)
+		e := s.hist[idx]
+		return e.valid && e.tag == tag && e.conflict > e.capacity
+	case ModeCapacityHistory:
+		idx, tag := region(addr)
+		e := s.hist[idx]
+		return e.valid && e.tag == tag && e.capacity > e.conflict
+	default:
+		return false
+	}
+}
+
+// Access implements assist.System.
+func (s *System) Access(acc mem.Access) assist.Outcome {
+	isStore := acc.Type == mem.Store
+	s.stats.Accesses++
+	if s.mode == ModeMAT {
+		s.touchMAT(acc.Addr)
+	}
+	if s.l1.Access(acc.Addr, isStore) {
+		s.stats.L1Hits++
+		return assist.Outcome{L1Hit: true}
+	}
+
+	set := s.geom.Set(acc.Addr)
+	tag := s.geom.Tag(acc.Addr)
+	class := s.mct.ClassifyMiss(set, tag)
+	if s.hist != nil {
+		s.recordHistory(acc.Addr, class)
+	}
+	line := s.geom.Line(acc.Addr)
+
+	if entry, ok := s.buffer.Hit(line, isStore); ok {
+		// Excluded lines are served in place and remain in the buffer
+		// until bumped (the paper's short-term spatial locality window).
+		s.stats.BufferHits++
+		s.stats.BufferHitsByOrigin[entry.Origin]++
+		return assist.Outcome{Class: class, BufferHit: true}
+	}
+
+	s.stats.Misses++
+	if class == core.Conflict {
+		s.stats.ConflictMisses++
+	} else {
+		s.stats.CapacityMisses++
+	}
+
+	if s.shouldExclude(acc.Addr, class) {
+		// Divert the line to the bypass buffer and seed the MCT with its
+		// tag so a future miss on it can still classify as conflict (the
+		// Sec 5.3 modification; without it no bypassed line could ever be
+		// identified).
+		s.stats.Bypasses++
+		s.stats.BufferFills++
+		if !s.noSeed {
+			s.mct.Seed(set, tag)
+		}
+		dropped, wasFull := s.buffer.Insert(line, assist.Entry{
+			Origin:   assist.OriginBypass,
+			Dirty:    isStore,
+			Conflict: class == core.Conflict,
+		})
+		return assist.Outcome{
+			Class:      class,
+			BufferFill: true,
+			Writeback:  wasFull && dropped.Entry.Dirty,
+		}
+	}
+
+	ev := s.l1.Fill(acc.Addr, isStore, class == core.Conflict)
+	wb := false
+	if ev.Occurred {
+		s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
+		wb = ev.Dirty
+	}
+	return assist.Outcome{Class: class, CacheFill: true, Writeback: wb}
+}
+
+// Contains implements assist.System.
+func (s *System) Contains(addr mem.Addr) (inL1, inBuffer bool) {
+	return s.l1.Contains(addr), s.buffer.Contains(s.geom.Line(addr))
+}
+
+// PrefetchArrived implements assist.System; exclusion never prefetches.
+func (s *System) PrefetchArrived(mem.LineAddr) bool { return false }
+
+// Stats implements assist.System.
+func (s *System) Stats() assist.Stats { return s.stats }

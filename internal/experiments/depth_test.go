@@ -1,0 +1,20 @@
+package experiments
+
+import "testing"
+
+func TestMCTDepthSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional sweep is slow")
+	}
+	r := MCTDepth(small())
+	t.Logf("\n%s", r.Table())
+	d1, _ := r.PointAt(1)
+	d2, _ := r.PointAt(2)
+	if d2.ConflictAcc < d1.ConflictAcc {
+		t.Errorf("depth 2 should not lose conflict accuracy: %.3f vs %.3f", d2.ConflictAcc, d1.ConflictAcc)
+	}
+	if d2.Turb3dConflictAcc <= d1.Turb3dConflictAcc+0.02 {
+		t.Errorf("depth 2 should recover turb3d's order-2 conflicts: %.3f vs %.3f",
+			d2.Turb3dConflictAcc, d1.Turb3dConflictAcc)
+	}
+}

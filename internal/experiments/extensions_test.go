@@ -1,0 +1,67 @@
+package experiments
+
+import "testing"
+
+// TestReplacementSmoke checks the Sec-5.6 associative-replacement study:
+// the bias must not hurt on average (the paper expects little effect on
+// this suite because 4-way conflicts are rare).
+func TestReplacementSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep is slow")
+	}
+	r := Replacement(small())
+	t.Logf("\n%s", r.Table())
+	if s := r.MeanSpeedup(1, 0); s < 0.99 {
+		t.Errorf("4-way MCT bias hurts: %.3f", s)
+	}
+	if s := r.MeanSpeedup(3, 2); s < 0.99 {
+		t.Errorf("8-way MCT bias hurts: %.3f", s)
+	}
+}
+
+// TestRemapSmoke checks the recoloring study: conflict-only counting must
+// use strictly fewer remaps than all-miss counting without losing miss
+// rate (beyond noise).
+func TestRemapSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional sweep is slow")
+	}
+	r := Remap(small())
+	t.Logf("\n%s", r.Table())
+	ra, rc, ma, mc := r.RemapEfficiency()
+	if rc >= ra {
+		t.Errorf("conflict-only counting should remap less: %d vs %d", rc, ra)
+	}
+	if mc > ma+0.02 {
+		t.Errorf("conflict-only miss rate %.3f much worse than all-miss %.3f", mc, ma)
+	}
+	if rc == 0 {
+		t.Error("conflict-heavy suite should trigger at least some remaps")
+	}
+}
+
+// TestCoScheduleSmoke checks the co-schedule matrix is complete and the
+// friendly pair ranks above the conflict-heavy pair.
+func TestCoScheduleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shared-cache sweep is slow")
+	}
+	r := CoSchedule(small())
+	t.Logf("\n%s", r.Table())
+	if len(r.Pairs) != 15 { // C(6,2)
+		t.Fatalf("pairs = %d", len(r.Pairs))
+	}
+	rank := map[string]int{}
+	for i, p := range r.Pairs {
+		rank[p.A+"+"+p.B] = i
+		rank[p.B+"+"+p.A] = i
+	}
+	// Two small-footprint jobs barely collide: go+li must rank near the
+	// top. (Note the non-obvious finding the metric surfaces: pairing a
+	// small-footprint job with a streaming job like swim is BAD for the
+	// small job — the stream clobbers its hot lines every pass — even
+	// though the pair's combined miss rate looks moderate.)
+	if rank["go+li"] > 2 {
+		t.Errorf("small-footprint pair go+li ranks %d; should be near the top", rank["go+li"])
+	}
+}

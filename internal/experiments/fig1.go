@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/classify"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig1Cell is one benchmark×configuration accuracy measurement.
+type Fig1Cell struct {
+	Config        string
+	ConflictAcc   float64
+	CapacityAcc   float64
+	OverallAcc    float64
+	ConflictShare float64
+	MissRate      float64
+}
+
+// Fig1Row is one benchmark's bars across the four cache configurations.
+type Fig1Row struct {
+	Bench string
+	Cells []Fig1Cell
+}
+
+// Fig1Result is the full Figure-1 reproduction.
+type Fig1Result struct {
+	Rows []Fig1Row
+	// MeanConflictAcc and MeanCapacityAcc are suite averages per
+	// configuration, the numbers quoted in the paper's Section 3 text
+	// (88%/86% for 16KB DM, 91%/92% for 64KB DM).
+	MeanConflictAcc map[string]float64
+	MeanCapacityAcc map[string]float64
+	MeanOverallAcc  map[string]float64
+}
+
+// Figure1 measures MCT classification accuracy (full tags) against the
+// classic oracle for every benchmark on the four cache configurations.
+func Figure1(p Params) Fig1Result {
+	p = p.withDefaults()
+	suite := workload.Suite()
+	rows := make([]Fig1Row, len(suite))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for bi, b := range suite {
+		rows[bi] = Fig1Row{Bench: b.Name, Cells: make([]Fig1Cell, len(figure1Configs))}
+		for ci := range figure1Configs {
+			wg.Add(1)
+			go func(bi, ci int, b *workload.Benchmark) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				rows[bi].Cells[ci] = figure1Cell(b, figure1Configs[ci].Name, figure1Configs[ci].Cfg, p)
+			}(bi, ci, b)
+		}
+	}
+	wg.Wait()
+
+	res := Fig1Result{
+		Rows:            rows,
+		MeanConflictAcc: map[string]float64{},
+		MeanCapacityAcc: map[string]float64{},
+		MeanOverallAcc:  map[string]float64{},
+	}
+	for ci, cfg := range figure1Configs {
+		var conf, cap, all []float64
+		for _, r := range rows {
+			// Benchmarks with essentially no conflict misses under a
+			// configuration contribute no conflict-accuracy sample (their
+			// ratio is 0/0), matching the paper's per-benchmark bars.
+			c := r.Cells[ci]
+			if c.ConflictShare > 0.001 {
+				conf = append(conf, c.ConflictAcc)
+			}
+			cap = append(cap, c.CapacityAcc)
+			all = append(all, c.OverallAcc)
+		}
+		res.MeanConflictAcc[cfg.Name] = stats.Mean(conf)
+		res.MeanCapacityAcc[cfg.Name] = stats.Mean(cap)
+		res.MeanOverallAcc[cfg.Name] = stats.Mean(all)
+		_ = ci
+	}
+	return res
+}
+
+func figure1Cell(b *workload.Benchmark, name string, cfg cache.Config, p Params) Fig1Cell {
+	r, err := classify.NewRun(cfg, TagBitsFull)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: figure 1 %s/%s: %v", b.Name, name, err))
+	}
+	s := trace.NewMemOnly(b.Stream(p.Seed))
+	var in trace.Instr
+	for n := uint64(0); n < p.MemAccesses && s.Next(&in); n++ {
+		r.Access(in.Addr, in.Op == trace.Store)
+	}
+	acc := r.Acc
+	return Fig1Cell{
+		Config:        name,
+		ConflictAcc:   acc.ConflictAccuracy(),
+		CapacityAcc:   acc.CapacityAccuracy(),
+		OverallAcc:    acc.OverallAccuracy(),
+		ConflictShare: acc.ConflictShare(),
+		MissRate:      r.CC.Cache().Stats().MissRate(),
+	}
+}
+
+// Table renders the Figure-1 data as text.
+func (r Fig1Result) Table() *stats.Table {
+	cols := []string{"benchmark"}
+	for _, c := range figure1Configs {
+		cols = append(cols, c.Name+" conf%", c.Name+" cap%")
+	}
+	t := stats.NewTable("Figure 1: MCT classification accuracy (full tags)", cols...)
+	for _, row := range r.Rows {
+		cells := []string{row.Bench}
+		for _, c := range row.Cells {
+			cells = append(cells, fmt.Sprintf("%.1f", 100*c.ConflictAcc), fmt.Sprintf("%.1f", 100*c.CapacityAcc))
+		}
+		t.AddRow(cells...)
+	}
+	mean := []string{"MEAN"}
+	for _, c := range figure1Configs {
+		mean = append(mean,
+			fmt.Sprintf("%.1f", 100*r.MeanConflictAcc[c.Name]),
+			fmt.Sprintf("%.1f", 100*r.MeanCapacityAcc[c.Name]))
+	}
+	t.AddRow(mean...)
+	return t
+}

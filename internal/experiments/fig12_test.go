@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFigure1Smoke checks the accuracy experiment reproduces the paper's
+// Section-3 headline: high classification accuracy on all four cache
+// configurations, with the suite mean in the high-80s-or-better band.
+func TestFigure1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional sweep is slow")
+	}
+	r := Figure1(Params{MemAccesses: 100_000})
+	t.Logf("\n%s", r.Table())
+	if len(r.Rows) != 16 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, cfg := range []string{"16KB-DM", "16KB-2way", "64KB-DM", "64KB-2way"} {
+		mean := r.MeanOverallAcc[cfg]
+		if mean < 0.80 {
+			t.Errorf("%s: mean overall accuracy %.1f%% below the paper's band", cfg, 100*mean)
+		}
+		if r.MeanConflictAcc[cfg] <= 0 || r.MeanCapacityAcc[cfg] <= 0 {
+			t.Errorf("%s: degenerate means", cfg)
+		}
+	}
+	// Every benchmark/config cell must have actually measured misses.
+	for _, row := range r.Rows {
+		for _, cell := range row.Cells {
+			if cell.MissRate <= 0 {
+				t.Errorf("%s/%s: zero miss rate", row.Bench, cell.Config)
+			}
+		}
+	}
+}
+
+// TestFigure2Smoke checks the tag-width sweep reproduces Figure 2's shape:
+// conflict accuracy starts artificially high at 1 bit, capacity accuracy
+// starts low, and both converge to full-tag values by 8-12 bits.
+func TestFigure2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional sweep is slow")
+	}
+	r := Figure2(Params{MemAccesses: 100_000})
+	t.Logf("\n%s", r.Table())
+	one, ok1 := r.PointAt(1)
+	eight, ok8 := r.PointAt(8)
+	full, okF := r.PointAt(TagBitsFull)
+	if !ok1 || !ok8 || !okF {
+		t.Fatal("sweep missing required points")
+	}
+	if one.CapacityAcc >= full.CapacityAcc {
+		t.Errorf("1-bit capacity accuracy %.2f should be below full-tag %.2f",
+			one.CapacityAcc, full.CapacityAcc)
+	}
+	if one.ConflictAcc < full.ConflictAcc {
+		t.Errorf("1-bit conflict accuracy %.2f should be >= full-tag %.2f (artificially high)",
+			one.ConflictAcc, full.ConflictAcc)
+	}
+	// Convergence: by 8 bits, within a couple points of full tags.
+	if d := full.CapacityAcc - eight.CapacityAcc; d > 0.03 {
+		t.Errorf("8-bit capacity accuracy %.3f not converged (full %.3f)",
+			eight.CapacityAcc, full.CapacityAcc)
+	}
+	if d := eight.ConflictAcc - full.ConflictAcc; d > 0.03 || d < -0.03 {
+		t.Errorf("8-bit conflict accuracy %.3f not converged (full %.3f)",
+			eight.ConflictAcc, full.ConflictAcc)
+	}
+	// The paper: even 1 bit excludes nearly half of capacity misses while
+	// misidentifying few conflict misses.
+	if one.CapacityAcc < 0.30 {
+		t.Errorf("1-bit capacity accuracy %.2f implausibly low", one.CapacityAcc)
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/assist"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/victim"
+)
+
+// Fig3Systems lists the Figure-3 configurations in the paper's bar order.
+// Index 0 (no victim cache) is the speedup baseline; bar 1 (traditional)
+// is the secondary baseline the ~3% combined-policy gain is quoted
+// against.
+var Fig3Systems = []string{"no-vcache", "vc-traditional", "vc-filter-swaps", "vc-filter-fills", "vc-filter-both"}
+
+// Fig3Result carries the victim-cache study (Figure 3 and Table 1 come
+// from the same runs).
+type Fig3Result struct {
+	TimingSeries
+}
+
+// Figure3 runs the victim-cache policy comparison on the carried suite.
+// All filtered policies use the or-conflict filter, the paper's most
+// liberal identification of conflict misses.
+func Figure3(p Params) Fig3Result {
+	p = p.withDefaults()
+	cfg := sim.L1Config()
+	factories := []sim.SystemFactory{
+		func() assist.System { return assist.MustNewBaseline(cfg, TagBitsFull) },
+		func() assist.System {
+			return victim.MustNew(cfg, TagBitsFull, assist.DefaultEntries, victim.Traditional)
+		},
+		func() assist.System {
+			return victim.MustNew(cfg, TagBitsFull, assist.DefaultEntries, victim.FilterSwapsPolicy)
+		},
+		func() assist.System {
+			return victim.MustNew(cfg, TagBitsFull, assist.DefaultEntries, victim.FilterFillsPolicy)
+		},
+		func() assist.System {
+			return victim.MustNew(cfg, TagBitsFull, assist.DefaultEntries, victim.FilterBothPolicy)
+		},
+	}
+	opt := sim.Options{Instructions: p.Instructions, Seed: p.Seed}
+	return Fig3Result{runTiming(Fig3Systems, factories, opt)}
+}
+
+// Table renders Figure 3 as per-benchmark speedups over the no-victim
+// baseline.
+func (r Fig3Result) Table() *stats.Table {
+	return r.SpeedupTable("Figure 3: victim cache policies (speedup over no victim cache)", 0)
+}
+
+// CombinedOverTraditional returns the headline number: geometric-mean
+// speedup of filter-both over the traditional victim cache (paper: ~3%).
+func (r Fig3Result) CombinedOverTraditional() float64 {
+	return r.MeanSpeedup(4, 1)
+}
+
+// Table1Row is one row of Table 1: hit rates and swap/fill traffic as
+// percentages of all data accesses.
+type Table1Row struct {
+	Policy   string
+	DCacheHR float64
+	VCacheHR float64
+	TotalHR  float64
+	SwapPct  float64
+	FillPct  float64
+}
+
+// Table1 derives the paper's Table 1 from the Figure-3 runs: suite-average
+// D-cache hit rate, victim hit rate, total, and the rates of swaps and
+// fills.
+func (r Fig3Result) Table1() []Table1Row {
+	rows := make([]Table1Row, len(r.SystemNames))
+	for si, name := range r.SystemNames {
+		var d, v, tot, sw, fl []float64
+		for bi := range r.Benches {
+			s := r.Results[bi][si].Sys
+			d = append(d, 100*s.L1HitRate())
+			v = append(v, 100*s.BufferHitRate())
+			tot = append(tot, 100*s.TotalHitRate())
+			sw = append(sw, 100*s.SwapRate())
+			fl = append(fl, 100*s.FillRate())
+		}
+		rows[si] = Table1Row{
+			Policy:   name,
+			DCacheHR: stats.Mean(d),
+			VCacheHR: stats.Mean(v),
+			TotalHR:  stats.Mean(tot),
+			SwapPct:  stats.Mean(sw),
+			FillPct:  stats.Mean(fl),
+		}
+	}
+	return rows
+}
+
+// Table1Text renders Table 1.
+func (r Fig3Result) Table1Text() *stats.Table {
+	t := stats.NewTable("Table 1: victim cache hit rates and traffic (% of accesses)",
+		"policy", "D$ HR", "V$ HR", "Total", "swaps", "fills")
+	for _, row := range r.Table1() {
+		t.AddRow(row.Policy,
+			fmt.Sprintf("%.1f", row.DCacheHR),
+			fmt.Sprintf("%.1f", row.VCacheHR),
+			fmt.Sprintf("%.1f", row.TotalHR),
+			fmt.Sprintf("%.1f", row.SwapPct),
+			fmt.Sprintf("%.1f", row.FillPct))
+	}
+	return t
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/assist"
+	"repro/internal/core"
+	"repro/internal/hier"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig4Systems lists the Figure-4 bars: no prefetching, the conventional
+// next-line prefetcher, then prefetching filtered by ignoring in-, out-,
+// and-, and or-conflict misses (or-conflict is the most discriminating —
+// it skips the prefetch on any hint of conflict).
+var Fig4Systems = []string{"no-prefetch", "pf-all", "pf-skip-in", "pf-skip-out", "pf-skip-and", "pf-skip-or"}
+
+// Fig4Result carries the prefetch-filtering study.
+type Fig4Result struct {
+	TimingSeries
+}
+
+// Figure4 runs the next-line prefetch comparison. Following the paper, the
+// speedups use a slower L1–L2 bus than the rest of the evaluation, the
+// regime where prefetch accuracy (not just coverage) matters.
+func Figure4(p Params) Fig4Result {
+	p = p.withDefaults()
+	cfg := sim.L1Config()
+	mk := func(f core.Filter) sim.SystemFactory {
+		return func() assist.System {
+			return prefetch.MustNew(cfg, TagBitsFull, assist.DefaultEntries,
+				prefetch.Policy{Filter: f, PrefetchOnBufferHit: true})
+		}
+	}
+	factories := []sim.SystemFactory{
+		func() assist.System { return assist.MustNewBaseline(cfg, TagBitsFull) },
+		mk(core.NoFilter),
+		mk(core.InConflict),
+		mk(core.OutConflict),
+		mk(core.AndConflict),
+		mk(core.OrConflict),
+	}
+	opt := sim.Options{Instructions: p.Instructions, Seed: p.Seed, Hier: hier.SlowBusConfig()}
+	return Fig4Result{runTiming(Fig4Systems, factories, opt)}
+}
+
+// Accuracy returns suite-average prefetch accuracy for a system index
+// (useful / completed prefetches); index 0 has no prefetcher.
+func (r Fig4Result) Accuracy(system int) float64 {
+	var xs []float64
+	for bi := range r.Benches {
+		s := r.Results[bi][system].Sys
+		if s.PrefetchesUseful+s.PrefetchesWasted > 0 {
+			xs = append(xs, s.PrefetchAccuracy())
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// Coverage returns the suite-average fraction of would-be misses covered
+// by the prefetch buffer: buffer hits / (buffer hits + remaining misses).
+func (r Fig4Result) Coverage(system int) float64 {
+	var xs []float64
+	for bi := range r.Benches {
+		s := r.Results[bi][system].Sys
+		den := s.BufferHits + s.Misses
+		if den > 0 {
+			xs = append(xs, float64(s.BufferHits)/float64(den))
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// AccuracyGain returns the headline metric: filtered accuracy relative to
+// the unfiltered prefetcher (paper: about +25%), using the or-conflict
+// filter (the most discriminating).
+func (r Fig4Result) AccuracyGain() float64 {
+	base := r.Accuracy(1)
+	if base == 0 {
+		return 0
+	}
+	return r.Accuracy(5)/base - 1
+}
+
+// Table renders Figure 4: per-system accuracy, coverage, and mean speedup
+// over no prefetching.
+func (r Fig4Result) Table() *stats.Table {
+	t := stats.NewTable("Figure 4: next-line prefetch strategies (slow L1-L2 bus)",
+		"system", "accuracy %", "coverage %", "mean speedup")
+	for si, name := range r.SystemNames {
+		acc, cov := "-", "-"
+		if si > 0 {
+			acc = fmt.Sprintf("%.1f", 100*r.Accuracy(si))
+			cov = fmt.Sprintf("%.1f", 100*r.Coverage(si))
+		}
+		t.AddRow(name, acc, cov, fmt.Sprintf("%.3f", r.MeanSpeedup(si, 0)))
+	}
+	return t
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/assist"
+	"repro/internal/exclude"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig5Systems lists the Figure-5 bars: no exclusion buffer, Johnson and
+// Hwu's memory access table, then the MCT-based conflict, conflict-
+// history, capacity, and capacity-history filters. The bypass buffer is 16
+// entries (the MAT "does poorly with an 8-entry buffer").
+var Fig5Systems = []string{"no-exclusion", "excl-mat", "excl-conflict", "excl-conflict-hist", "excl-capacity", "excl-capacity-hist"}
+
+// Fig5Result carries the cache-exclusion study.
+type Fig5Result struct {
+	TimingSeries
+}
+
+// Figure5 runs the exclusion-policy comparison on the carried suite.
+func Figure5(p Params) Fig5Result {
+	p = p.withDefaults()
+	cfg := sim.L1Config()
+	mk := func(m exclude.Mode) sim.SystemFactory {
+		return func() assist.System {
+			return exclude.MustNew(cfg, TagBitsFull, exclude.DefaultEntries, m)
+		}
+	}
+	factories := []sim.SystemFactory{
+		func() assist.System { return assist.MustNewBaseline(cfg, TagBitsFull) },
+		mk(exclude.ModeMAT),
+		mk(exclude.ModeConflict),
+		mk(exclude.ModeConflictHistory),
+		mk(exclude.ModeCapacity),
+		mk(exclude.ModeCapacityHistory),
+	}
+	opt := sim.Options{Instructions: p.Instructions, Seed: p.Seed}
+	return Fig5Result{runTiming(Fig5Systems, factories, opt)}
+}
+
+// Table renders Figure 5: mean total hit rate and mean speedup per policy.
+func (r Fig5Result) Table() *stats.Table {
+	t := stats.NewTable("Figure 5: cache-exclusion policies",
+		"system", "total HR %", "mean speedup")
+	for si, name := range r.SystemNames {
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", 100*r.MeanTotalHitRate(si)),
+			fmt.Sprintf("%.3f", r.MeanSpeedup(si, 0)))
+	}
+	return t
+}
+
+// CapacityBeatsMAT reports the paper's Figure-5 conclusion: the simple
+// capacity filter outperforms the MAT in both hit rate and speedup.
+func (r Fig5Result) CapacityBeatsMAT() (hitRate, speedup bool) {
+	return r.MeanTotalHitRate(4) >= r.MeanTotalHitRate(1),
+		r.MeanSpeedup(4, 0) >= r.MeanSpeedup(1, 0)
+}

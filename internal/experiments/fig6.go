@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/amb"
+	"repro/internal/assist"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig6Systems lists Figure 6's configurations: the single policies and
+// their combinations over an 8-entry Adaptive Miss Buffer, plus the two
+// most interesting 16-entry variants the paper calls out.
+var Fig6Systems = []string{
+	"no-buffer",
+	"Vict", "Pref", "Excl",
+	"VictPref", "PrefExcl", "VictExcl", "VicPreExc",
+	"VictPref-16", "VicPreExc-16",
+}
+
+// fig6Combos pairs each non-baseline system with its combination and
+// buffer size.
+var fig6Combos = []struct {
+	combo   amb.Combo
+	entries int
+}{
+	{amb.Vict, 8}, {amb.Pref, 8}, {amb.Excl, 8},
+	{amb.VictPref, 8}, {amb.PrefExcl, 8}, {amb.VictExcl, 8}, {amb.VicPreExc, 8},
+	{amb.VictPref, 16}, {amb.VicPreExc, 16},
+}
+
+// Fig6Result carries the AMB study; Figure 7 derives from the same runs.
+type Fig6Result struct {
+	TimingSeries
+}
+
+// Figure6 runs the Adaptive Miss Buffer comparison. The paper's headline:
+// the best combination (VictPref at 8 entries) more than doubles the gain
+// of any single policy, about 16% better performance than any single
+// technique, with the do-everything VicPreExc overtaking it at 16 entries.
+func Figure6(p Params) Fig6Result {
+	p = p.withDefaults()
+	cfg := sim.L1Config()
+	factories := []sim.SystemFactory{
+		func() assist.System { return assist.MustNewBaseline(cfg, TagBitsFull) },
+	}
+	for _, c := range fig6Combos {
+		c := c
+		factories = append(factories, func() assist.System {
+			return amb.MustNew(cfg, TagBitsFull, c.entries, c.combo)
+		})
+	}
+	opt := sim.Options{Instructions: p.Instructions, Seed: p.Seed}
+	return Fig6Result{runTiming(Fig6Systems, factories, opt)}
+}
+
+// Table renders Figure 6 as speedups over the no-buffer baseline.
+func (r Fig6Result) Table() *stats.Table {
+	return r.SpeedupTable("Figure 6: adaptive miss buffer policies (speedup over no buffer)", 0)
+}
+
+// BestSingleGain and BestComboGain return the geometric-mean speedup-over-
+// baseline of the best single policy and the best 8-entry combination; the
+// paper's claim is combo ≈ 2x the single-policy gain.
+func (r Fig6Result) BestSingleGain() (string, float64) {
+	return r.bestOver(1, 3)
+}
+
+// BestComboGain returns the best 8-entry multi-policy configuration.
+func (r Fig6Result) BestComboGain() (string, float64) {
+	return r.bestOver(4, 7)
+}
+
+func (r Fig6Result) bestOver(lo, hi int) (string, float64) {
+	best, name := 0.0, ""
+	for si := lo; si <= hi; si++ {
+		if s := r.MeanSpeedup(si, 0); s > best {
+			best, name = s, r.SystemNames[si]
+		}
+	}
+	return name, best
+}
+
+// MissRateReduction returns 1 - missrate(best combo)/missrate(best
+// single): the paper's "30% reduction in total miss rate over the best
+// individual policy".
+func (r Fig6Result) MissRateReduction() float64 {
+	bestSingle, bestCombo := -1, -1
+	var sGain, cGain float64
+	for si := 1; si <= 3; si++ {
+		if g := r.MeanSpeedup(si, 0); g > sGain {
+			sGain, bestSingle = g, si
+		}
+	}
+	for si := 4; si <= 7; si++ {
+		if g := r.MeanSpeedup(si, 0); g > cGain {
+			cGain, bestCombo = g, si
+		}
+	}
+	if bestSingle < 0 || bestCombo < 0 {
+		return 0
+	}
+	ms, mc := r.MeanMissRate(bestSingle), r.MeanMissRate(bestCombo)
+	if ms == 0 {
+		return 0
+	}
+	return 1 - mc/ms
+}
+
+// Fig7Row is one Figure-7 bar: the average hit-rate composition of a
+// configuration, split by where the hit was served.
+type Fig7Row struct {
+	System     string
+	DCacheHR   float64
+	VictimHR   float64
+	PrefetchHR float64
+	BypassHR   float64
+	MissRate   float64
+}
+
+// Figure7 derives the hit-rate component breakdown from the Figure-6 runs.
+func (r Fig6Result) Figure7() []Fig7Row {
+	rows := make([]Fig7Row, len(r.SystemNames))
+	for si, name := range r.SystemNames {
+		var d, v, pf, by, ms []float64
+		for bi := range r.Benches {
+			s := r.Results[bi][si].Sys
+			if s.Accesses == 0 {
+				continue
+			}
+			a := float64(s.Accesses)
+			d = append(d, 100*float64(s.L1Hits+s.SecondaryHits)/a)
+			v = append(v, 100*float64(s.BufferHitsByOrigin[assist.OriginVictim])/a)
+			pf = append(pf, 100*float64(s.BufferHitsByOrigin[assist.OriginPrefetch])/a)
+			by = append(by, 100*float64(s.BufferHitsByOrigin[assist.OriginBypass])/a)
+			ms = append(ms, 100*s.MissRate())
+		}
+		rows[si] = Fig7Row{
+			System:     name,
+			DCacheHR:   stats.Mean(d),
+			VictimHR:   stats.Mean(v),
+			PrefetchHR: stats.Mean(pf),
+			BypassHR:   stats.Mean(by),
+			MissRate:   stats.Mean(ms),
+		}
+	}
+	return rows
+}
+
+// Figure7Table renders the component breakdown.
+func (r Fig6Result) Figure7Table() *stats.Table {
+	t := stats.NewTable("Figure 7: hit-rate components per AMB policy (% of accesses)",
+		"system", "D$ ", "victim", "prefetch", "bypass", "miss")
+	for _, row := range r.Figure7() {
+		t.AddRow(row.System,
+			fmt.Sprintf("%.1f", row.DCacheHR),
+			fmt.Sprintf("%.1f", row.VictimHR),
+			fmt.Sprintf("%.1f", row.PrefetchHR),
+			fmt.Sprintf("%.1f", row.BypassHR),
+			fmt.Sprintf("%.1f", row.MissRate))
+	}
+	return t
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestICacheStudySmoke checks the instruction-cache extension: the bare
+// I-cache costs real performance, the I-stream has classifiable conflict
+// misses, and the victim buffer recovers part of the cost — the paper's
+// "should also apply to the instruction cache", measured.
+func TestICacheStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep is slow")
+	}
+	r := ICacheStudy(small())
+	t.Logf("\n%s", r.Table())
+	if c := r.ICacheCost(); c >= 1.0 {
+		t.Errorf("a finite I-cache cannot be free: bare/perfect = %.3f", c)
+	}
+	if g := r.VictimGain(); g < 1.0 {
+		t.Errorf("I-side victim buffer should not hurt: %.3f", g)
+	}
+	sawMisses := false
+	for _, row := range r.Rows {
+		if row.IMissRate > 0.001 {
+			sawMisses = true
+		}
+	}
+	if !sawMisses {
+		t.Error("no benchmark exercises the I-cache; code footprints too small")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// These smoke tests run each experiment at reduced scale and check the
+// paper's qualitative claims (who wins, directionally). The full-scale
+// reproduction lives in cmd/paperbench and EXPERIMENTS.md.
+
+func small() Params { return Params{Instructions: 60_000, MemAccesses: 60_000} }
+
+// TestTimingSmoke runs the victim-cache sweep end to end through the CPU
+// and hierarchy and sanity-checks the shape.
+func TestTimingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep is slow")
+	}
+	r := Figure3(small())
+	for bi, b := range r.Benches {
+		for si, name := range r.SystemNames {
+			ipc := r.Results[bi][si].IPC()
+			if ipc <= 0 || ipc > 8 {
+				t.Errorf("%s/%s: implausible IPC %.3f", b, name, ipc)
+			}
+		}
+	}
+	t.Logf("\n%s", r.Table())
+	t.Logf("\n%s", r.Table1Text())
+	if s := r.MeanSpeedup(1, 0); s < 1.0 {
+		t.Errorf("traditional victim cache slows the machine: %.3f", s)
+	}
+	rows := r.Table1()
+	if rows[3].FillPct >= rows[1].FillPct*0.75 {
+		t.Errorf("fill filtering should cut fills substantially: %.1f -> %.1f", rows[1].FillPct, rows[3].FillPct)
+	}
+	if rows[2].SwapPct >= rows[1].SwapPct*0.25 {
+		t.Errorf("swap filtering should nearly eliminate swaps: %.1f -> %.1f", rows[1].SwapPct, rows[2].SwapPct)
+	}
+}
+
+// TestFigure4Smoke checks prefetch filtering raises accuracy.
+func TestFigure4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep is slow")
+	}
+	r := Figure4(small())
+	t.Logf("\n%s", r.Table())
+	if r.Accuracy(1) <= 0 {
+		t.Fatalf("unfiltered prefetcher reports zero accuracy")
+	}
+	if gain := r.AccuracyGain(); gain < 0.05 {
+		t.Errorf("or-conflict filtering should raise prefetch accuracy substantially, got %+.1f%%", 100*gain)
+	}
+}
+
+// TestFigure5Smoke checks the capacity filter against the MAT.
+func TestFigure5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep is slow")
+	}
+	r := Figure5(small())
+	t.Logf("\n%s", r.Table())
+	hr, sp := r.CapacityBeatsMAT()
+	if !hr {
+		t.Errorf("capacity filter should match or beat MAT hit rate")
+	}
+	if !sp {
+		t.Errorf("capacity filter should match or beat MAT speedup")
+	}
+}
+
+// TestPseudoSmoke checks the MCT replacement policy improves the base
+// pseudo-associative cache and approaches 2-way.
+func TestPseudoSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep is slow")
+	}
+	r := PseudoAssoc(small())
+	t.Logf("\n%s", r.Table())
+	if s := r.MCTOverBase(); s < 0.995 {
+		t.Errorf("MCT replacement should not hurt the pseudo-associative cache: %.3f", s)
+	}
+	base, mct := r.MissRates()
+	if mct > base*1.02 {
+		t.Errorf("MCT policy should reduce the miss rate: %.2f%% -> %.2f%%", 100*base, 100*mct)
+	}
+}
+
+// TestFigure6Smoke checks the AMB composes policies profitably.
+func TestFigure6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep is slow")
+	}
+	r := Figure6(small())
+	t.Logf("\n%s", r.Table())
+	t.Logf("\n%s", r.Figure7Table())
+	sName, s := r.BestSingleGain()
+	cName, c := r.BestComboGain()
+	t.Logf("best single %s %.3f; best combo %s %.3f; missrate reduction %.1f%%",
+		sName, s, cName, c, 100*r.MissRateReduction())
+	if c < s {
+		t.Errorf("best combination (%s %.3f) should beat best single policy (%s %.3f)", cName, c, sName, s)
+	}
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestSMTStudySmoke checks the Section-5.6 multithreading claim: the AMB
+// gains at least as much on the shared cache as on the solo runs, and
+// sharing raises the conflict share of misses.
+func TestSMTStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SMT sweep is slow")
+	}
+	r := SMTStudy(small())
+	t.Logf("\n%s", r.Table())
+	if r.PairGain() <= 1.0 {
+		t.Errorf("AMB should help shared caches: pair gain %.3f", r.PairGain())
+	}
+	if r.SingleGain <= 1.0 {
+		t.Errorf("AMB should help solo runs: %.3f", r.SingleGain)
+	}
+	if r.MeanPairConflictShare() < r.SingleConflictShare*0.8 {
+		t.Errorf("sharing should not slash the conflict share: 2T %.3f vs 1T %.3f",
+			r.MeanPairConflictShare(), r.SingleConflictShare)
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestConfigSweepSmoke checks the generalization grid: accuracy holds up
+// across every configuration, miss rates fall with size, and conflict
+// share falls with associativity.
+func TestConfigSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional sweep is slow")
+	}
+	r := ConfigSweep(small())
+	t.Logf("\n%s", r.Table())
+	if len(r.Cells) != 12 {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+	if min := r.MinOverallAcc(); min < 0.70 {
+		t.Errorf("worst-case overall accuracy %.1f%% too low", 100*min)
+	}
+	small8, _ := r.CellAt(8, 1)
+	big64, _ := r.CellAt(64, 1)
+	if big64.MissRate >= small8.MissRate {
+		t.Errorf("miss rate should fall with size: 8KB %.3f vs 64KB %.3f", small8.MissRate, big64.MissRate)
+	}
+	dm16, _ := r.CellAt(16, 1)
+	w4x16, _ := r.CellAt(16, 4)
+	if w4x16.ConflictShare >= dm16.ConflictShare {
+		t.Errorf("conflict share should fall with associativity: DM %.3f vs 4-way %.3f",
+			dm16.ConflictShare, w4x16.ConflictShare)
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TimingSeries is the shared result shape of the performance experiments:
+// one sim result per (benchmark, system) pair, with system 0 conventionally
+// the baseline speedups are computed against.
+type TimingSeries struct {
+	SystemNames []string
+	Benches     []string
+	Results     [][]sim.Result // [bench][system]
+}
+
+// runTiming sweeps the carried suite over the given system factories.
+func runTiming(names []string, factories []sim.SystemFactory, opt sim.Options) TimingSeries {
+	benches := workload.Carried()
+	res := sim.Sweep(benches, factories, opt)
+	bn := make([]string, len(benches))
+	for i, b := range benches {
+		bn[i] = b.Name
+	}
+	return TimingSeries{SystemNames: names, Benches: bn, Results: res}
+}
+
+// Speedup returns IPC(system)/IPC(base) for one benchmark row.
+func (t TimingSeries) Speedup(bench, system, base int) float64 {
+	b := t.Results[bench][base].IPC()
+	if b == 0 {
+		return 0
+	}
+	return t.Results[bench][system].IPC() / b
+}
+
+// MeanSpeedup returns the geometric-mean speedup of a system over the
+// baseline across benchmarks — the paper's aggregate speedup number.
+func (t TimingSeries) MeanSpeedup(system, base int) float64 {
+	xs := make([]float64, 0, len(t.Benches))
+	for bi := range t.Benches {
+		xs = append(xs, t.Speedup(bi, system, base))
+	}
+	return stats.GeoMean(xs)
+}
+
+// MeanIPC returns the arithmetic mean IPC of a system across benchmarks.
+func (t TimingSeries) MeanIPC(system int) float64 {
+	xs := make([]float64, 0, len(t.Benches))
+	for bi := range t.Benches {
+		xs = append(xs, t.Results[bi][system].IPC())
+	}
+	return stats.Mean(xs)
+}
+
+// MeanMissRate returns the arithmetic mean L1 miss rate (accesses that
+// left the L1+buffer) of a system across benchmarks.
+func (t TimingSeries) MeanMissRate(system int) float64 {
+	xs := make([]float64, 0, len(t.Benches))
+	for bi := range t.Benches {
+		xs = append(xs, t.Results[bi][system].Sys.MissRate())
+	}
+	return stats.Mean(xs)
+}
+
+// MeanTotalHitRate returns the mean L1+buffer hit rate of a system.
+func (t TimingSeries) MeanTotalHitRate(system int) float64 {
+	xs := make([]float64, 0, len(t.Benches))
+	for bi := range t.Benches {
+		xs = append(xs, t.Results[bi][system].Sys.TotalHitRate())
+	}
+	return stats.Mean(xs)
+}
+
+// SpeedupTable renders per-benchmark speedups of every system against the
+// base column, with a geometric-mean row.
+func (t TimingSeries) SpeedupTable(title string, base int) *stats.Table {
+	cols := []string{"benchmark"}
+	for si, n := range t.SystemNames {
+		if si == base {
+			cols = append(cols, n+" IPC")
+		} else {
+			cols = append(cols, n)
+		}
+	}
+	tb := stats.NewTable(title, cols...)
+	for bi, b := range t.Benches {
+		cells := []string{b}
+		for si := range t.SystemNames {
+			if si == base {
+				cells = append(cells, fmt.Sprintf("%.3f", t.Results[bi][si].IPC()))
+			} else {
+				cells = append(cells, fmt.Sprintf("%.3f", t.Speedup(bi, si, base)))
+			}
+		}
+		tb.AddRow(cells...)
+	}
+	mean := []string{"GEOMEAN"}
+	for si := range t.SystemNames {
+		if si == base {
+			mean = append(mean, fmt.Sprintf("%.3f", t.MeanIPC(si)))
+		} else {
+			mean = append(mean, fmt.Sprintf("%.3f", t.MeanSpeedup(si, base)))
+		}
+	}
+	tb.AddRow(mean...)
+	return tb
+}
+
+// Chart renders the figure's aggregate as an ASCII bar chart, speedups
+// against the no-assist baseline with the 1.0 line marked.
+func (t TimingSeries) Chart(title string, base int) *stats.BarChart {
+	c := stats.NewBarChart(title, 46).SetBaseline(1.0)
+	for si, name := range t.SystemNames {
+		if si == base {
+			continue
+		}
+		c.Add(name, t.MeanSpeedup(si, base))
+	}
+	return c
+}

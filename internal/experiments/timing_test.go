@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeSeries builds a TimingSeries by hand so the aggregation helpers can
+// be tested without simulation.
+func fakeSeries() TimingSeries {
+	mk := func(instr, cycles uint64, miss, acc uint64) sim.Result {
+		r := sim.Result{}
+		r.CPU.Instructions = instr
+		r.CPU.Cycles = cycles
+		r.Sys.Accesses = acc
+		r.Sys.Misses = miss
+		r.Sys.L1Hits = acc - miss
+		return r
+	}
+	return TimingSeries{
+		SystemNames: []string{"base", "fast", "slow"},
+		Benches:     []string{"b1", "b2"},
+		Results: [][]sim.Result{
+			{mk(100, 100, 10, 50), mk(100, 50, 5, 50), mk(100, 200, 20, 50)},
+			{mk(100, 100, 20, 50), mk(100, 80, 10, 50), mk(100, 100, 20, 50)},
+		},
+	}
+}
+
+func TestSpeedupHelpers(t *testing.T) {
+	s := fakeSeries()
+	if got := s.Speedup(0, 1, 0); got != 2.0 {
+		t.Errorf("b1 fast speedup = %g", got)
+	}
+	if got := s.Speedup(0, 2, 0); got != 0.5 {
+		t.Errorf("b1 slow speedup = %g", got)
+	}
+	// Geomean of (2.0, 1.25) = sqrt(2.5).
+	if got := s.MeanSpeedup(1, 0); got < 1.58 || got > 1.59 {
+		t.Errorf("fast geomean = %g", got)
+	}
+	if got := s.MeanIPC(0); got != 1.0 {
+		t.Errorf("base mean IPC = %g", got)
+	}
+}
+
+func TestRateHelpers(t *testing.T) {
+	s := fakeSeries()
+	if got := s.MeanMissRate(0); got < 0.299 || got > 0.301 { // (0.2 + 0.4)/2
+		t.Errorf("base mean miss rate = %g", got)
+	}
+	if got := s.MeanTotalHitRate(0); got < 0.699 || got > 0.701 {
+		t.Errorf("base mean hit rate = %g", got)
+	}
+}
+
+func TestSpeedupTableShape(t *testing.T) {
+	s := fakeSeries()
+	tb := s.SpeedupTable("demo", 0)
+	out := tb.String()
+	if !strings.Contains(out, "GEOMEAN") || !strings.Contains(out, "base IPC") {
+		t.Errorf("table missing aggregate rows:\n%s", out)
+	}
+	if tb.Rows() != 3 { // 2 benches + geomean
+		t.Errorf("rows = %d", tb.Rows())
+	}
+}
+
+func TestChartSkipsBaseline(t *testing.T) {
+	s := fakeSeries()
+	out := s.Chart("demo", 0).String()
+	if strings.Contains(out, "base") {
+		t.Errorf("chart should skip the baseline system:\n%s", out)
+	}
+	if !strings.Contains(out, "fast") || !strings.Contains(out, "slow") {
+		t.Errorf("chart missing systems:\n%s", out)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	d := Default()
+	if p != d {
+		t.Errorf("zero params should fill to defaults: %+v vs %+v", p, d)
+	}
+	p = Params{Seed: 42}.withDefaults()
+	if p.Seed != 42 || p.Instructions != d.Instructions {
+		t.Errorf("partial params mishandled: %+v", p)
+	}
+	q := Quick()
+	if q.MemAccesses >= d.MemAccesses {
+		t.Error("Quick should be smaller than Default")
+	}
+}

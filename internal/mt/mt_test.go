@@ -1,0 +1,145 @@
+package mt
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func cfgSmall() Config {
+	c := DefaultConfig()
+	c.AccessesPerThread = 40_000
+	return c
+}
+
+func pick(t *testing.T, names ...string) []*workload.Benchmark {
+	t.Helper()
+	out := make([]*workload.Benchmark, len(names))
+	for i, n := range names {
+		b, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("benchmark %s missing", n)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestShareBasics(t *testing.T) {
+	r, err := Share(pick(t, "gcc", "compress"), cfgSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Threads) != 2 {
+		t.Fatalf("threads = %d", len(r.Threads))
+	}
+	for i, th := range r.Threads {
+		if th.Accesses != 40_000 {
+			t.Errorf("thread %d accesses = %d", i, th.Accesses)
+		}
+		if th.Misses == 0 {
+			t.Errorf("thread %d never missed", i)
+		}
+		if th.ConflictMisses > th.Misses {
+			t.Errorf("thread %d conflict accounting broken", i)
+		}
+	}
+	if r.TotalConflictShare() <= 0 || r.TotalConflictShare() > 1 {
+		t.Errorf("conflict share = %g", r.TotalConflictShare())
+	}
+}
+
+func TestSharingInflatesMissRates(t *testing.T) {
+	// The paper's premise: threads sharing a cache suffer misses they
+	// would not suffer alone.
+	r, err := Share(pick(t, "gcc", "vortex"), cfgSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, th := range r.Threads {
+		if th.MissRate() < r.SoloMissRates[i]*0.9 {
+			t.Errorf("thread %s: shared miss rate %.3f below solo %.3f",
+				th.Name, th.MissRate(), r.SoloMissRates[i])
+		}
+	}
+	// And at least some of the inflation is attributable cross-thread
+	// conflict (the MCT-visible part).
+	if r.CrossConflictShare() == 0 {
+		t.Error("no cross-thread conflicts detected between co-running threads")
+	}
+}
+
+func TestSelfSharingProducesCrossConflicts(t *testing.T) {
+	// Two copies of a conflict-heavy benchmark with different seeds fight
+	// over the same sets; cross-thread conflicts must be substantial.
+	r, err := Share(pick(t, "tomcatv", "tomcatv"), cfgSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CrossConflictShare() < 0.01 {
+		t.Errorf("tomcatv pair cross-conflict share = %.3f; expected heavy interference", r.CrossConflictShare())
+	}
+}
+
+func TestShareErrors(t *testing.T) {
+	if _, err := Share(nil, cfgSmall()); err == nil {
+		t.Error("empty benchmark list accepted")
+	}
+	bad := cfgSmall()
+	bad.L1.Size = 7
+	if _, err := Share(pick(t, "gcc"), bad); err == nil {
+		t.Error("bad cache config accepted")
+	}
+}
+
+func TestCoScheduleMatrixRanks(t *testing.T) {
+	benches := pick(t, "go", "m88ksim", "tomcatv", "wave5")
+	cfg := cfgSmall()
+	cfg.AccessesPerThread = 20_000
+	scores, err := CoScheduleMatrix(benches, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 6 { // C(4,2)
+		t.Fatalf("pairs = %d", len(scores))
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i-1].CrossConflictRate > scores[i].CrossConflictRate {
+			t.Fatal("matrix not sorted")
+		}
+	}
+	// The cache-friendly pair (go, m88ksim) must rank strictly better
+	// than the conflict monsters (tomcatv, wave5).
+	rank := map[[2]string]int{}
+	for i, s := range scores {
+		rank[[2]string{s.A, s.B}] = i
+	}
+	friendly, heavy := -1, -1
+	for k, i := range rank {
+		switch {
+		case (k[0] == "go" && k[1] == "m88ksim") || (k[0] == "m88ksim" && k[1] == "go"):
+			friendly = i
+		case (k[0] == "tomcatv" && k[1] == "wave5") || (k[0] == "wave5" && k[1] == "tomcatv"):
+			heavy = i
+		}
+	}
+	if friendly < 0 || heavy < 0 {
+		t.Fatal("expected pairs missing from matrix")
+	}
+	if friendly > heavy {
+		t.Errorf("co-schedule ranking inverted: friendly pair rank %d, heavy pair rank %d", friendly, heavy)
+	}
+}
+
+func TestDeterministicShares(t *testing.T) {
+	r1, err := Share(pick(t, "li", "perl"), cfgSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := Share(pick(t, "li", "perl"), cfgSmall())
+	for i := range r1.Threads {
+		if r1.Threads[i] != r2.Threads[i] {
+			t.Fatal("shared replay not deterministic")
+		}
+	}
+}

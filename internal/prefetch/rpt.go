@@ -1,0 +1,203 @@
+package prefetch
+
+import (
+	"repro/internal/assist"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// RPT is Chen and Baer's reference prediction table: a PC-indexed table of
+// (last address, stride, 2-bit state) entries that issues a prefetch for
+// lastAddr+stride once a load settles into a steady stride. The paper
+// examined it as the sophisticated alternative to next-line prefetching
+// and found next-line gave higher coverage on its irregular applications;
+// it is implemented here so that comparison can be reproduced (see the
+// ablation bench) and to document the cost difference the paper stresses:
+// the RPT is read and updated on every memory access, while the filtered
+// next-line prefetcher touches its state only on misses.
+type rptState uint8
+
+const (
+	rptInitial rptState = iota
+	rptTransient
+	rptSteady
+	rptNoPred
+)
+
+type rptEntry struct {
+	tag      mem.Addr
+	lastAddr mem.Addr
+	stride   int64
+	state    rptState
+	valid    bool
+}
+
+// RPTSystem is an assist.System that prefetches via a reference prediction
+// table into the same small buffer the other policies use.
+type RPTSystem struct {
+	l1     *cache.Cache
+	mct    *core.MCT
+	buffer *assist.Buffer
+	geom   mem.Geometry
+	table  []rptEntry
+	mask   uint64
+
+	stats assist.Stats
+}
+
+// NewRPT builds the RPT system; tableSize must be a power of two (Chen and
+// Baer evaluate 512; we default callers to that).
+func NewRPT(cfg cache.Config, tagBits, entries, tableSize int) (*RPTSystem, error) {
+	l1, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mct, err := core.New(core.Config{Sets: cfg.Sets(), TagBits: tagBits})
+	if err != nil {
+		return nil, err
+	}
+	if tableSize <= 0 || tableSize&(tableSize-1) != 0 {
+		tableSize = 512
+	}
+	return &RPTSystem{
+		l1:     l1,
+		mct:    mct,
+		buffer: assist.NewBuffer(entries),
+		geom:   l1.Geometry(),
+		table:  make([]rptEntry, tableSize),
+		mask:   uint64(tableSize - 1),
+	}, nil
+}
+
+// MustNewRPT is NewRPT that panics on error.
+func MustNewRPT(cfg cache.Config, tagBits, entries, tableSize int) *RPTSystem {
+	s, err := NewRPT(cfg, tagBits, entries, tableSize)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements assist.System.
+func (s *RPTSystem) Name() string { return "pf-rpt" }
+
+// Buffer exposes the prefetch buffer.
+func (s *RPTSystem) Buffer() *assist.Buffer { return s.buffer }
+
+// update advances the RPT entry for this access per the Chen–Baer state
+// machine and returns a prefetch address when the entry is predicting.
+func (s *RPTSystem) update(acc mem.Access) (mem.Addr, bool) {
+	idx := (uint64(acc.PC) >> 2) & s.mask
+	e := &s.table[idx]
+	if !e.valid || e.tag != acc.PC {
+		*e = rptEntry{tag: acc.PC, lastAddr: acc.Addr, state: rptInitial, valid: true}
+		return 0, false
+	}
+	stride := int64(acc.Addr) - int64(e.lastAddr)
+	correct := stride == e.stride
+	switch e.state {
+	case rptInitial:
+		if correct {
+			e.state = rptSteady
+		} else {
+			e.stride = stride
+			e.state = rptTransient
+		}
+	case rptTransient:
+		if correct {
+			e.state = rptSteady
+		} else {
+			e.stride = stride
+			e.state = rptNoPred
+		}
+	case rptSteady:
+		if !correct {
+			e.state = rptInitial
+		}
+	case rptNoPred:
+		if correct {
+			e.state = rptTransient
+		} else {
+			e.stride = stride
+		}
+	}
+	e.lastAddr = acc.Addr
+	if e.state == rptSteady && e.stride != 0 {
+		return mem.Addr(int64(acc.Addr) + e.stride), true
+	}
+	return 0, false
+}
+
+// Access implements assist.System. Unlike the next-line system, the RPT is
+// consulted and updated on every access, hit or miss.
+func (s *RPTSystem) Access(acc mem.Access) assist.Outcome {
+	isStore := acc.Type == mem.Store
+	s.stats.Accesses++
+	target, predict := s.update(acc)
+	var pfs []mem.LineAddr
+	if predict && !s.l1.Contains(target) && !s.buffer.Contains(s.geom.Line(target)) {
+		s.stats.PrefetchesIssued++
+		pfs = []mem.LineAddr{s.geom.Line(target)}
+	}
+
+	if s.l1.Access(acc.Addr, isStore) {
+		s.stats.L1Hits++
+		return assist.Outcome{L1Hit: true, Prefetches: pfs}
+	}
+	set := s.geom.Set(acc.Addr)
+	tag := s.geom.Tag(acc.Addr)
+	class := s.mct.ClassifyMiss(set, tag)
+	line := s.geom.Line(acc.Addr)
+
+	if entry, ok := s.buffer.Hit(line, isStore); ok {
+		s.stats.BufferHits++
+		s.stats.BufferHitsByOrigin[entry.Origin]++
+		s.buffer.Remove(line)
+		ev := s.l1.Fill(acc.Addr, isStore || entry.Dirty, class == core.Conflict)
+		wb := false
+		if ev.Occurred {
+			s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
+			wb = ev.Dirty
+		}
+		return assist.Outcome{Class: class, BufferHit: true, CacheFill: true, Writeback: wb, Prefetches: pfs}
+	}
+
+	s.stats.Misses++
+	if class == core.Conflict {
+		s.stats.ConflictMisses++
+	} else {
+		s.stats.CapacityMisses++
+	}
+	ev := s.l1.Fill(acc.Addr, isStore, class == core.Conflict)
+	wb := false
+	if ev.Occurred {
+		s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
+		wb = ev.Dirty
+	}
+	return assist.Outcome{Class: class, CacheFill: true, Writeback: wb, Prefetches: pfs}
+}
+
+// Contains implements assist.System.
+func (s *RPTSystem) Contains(addr mem.Addr) (inL1, inBuffer bool) {
+	return s.l1.Contains(addr), s.buffer.Contains(s.geom.Line(addr))
+}
+
+// PrefetchArrived implements assist.System.
+func (s *RPTSystem) PrefetchArrived(line mem.LineAddr) bool {
+	addr := mem.Addr(uint64(line) << s.geom.LineShift())
+	if s.l1.Contains(addr) || s.buffer.Contains(line) {
+		return false
+	}
+	s.buffer.Insert(line, assist.Entry{Origin: assist.OriginPrefetch})
+	return true
+}
+
+// Stats implements assist.System.
+func (s *RPTSystem) Stats() assist.Stats {
+	out := s.stats
+	bs := s.buffer.Stats()
+	out.PrefetchesUseful = bs.PrefetchesUseful
+	out.PrefetchesWasted = bs.PrefetchesWasted
+	return out
+}

@@ -1,0 +1,142 @@
+package remap
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+func dmConfig() cache.Config {
+	return cache.Config{Name: "t", Size: 16 * 1024, LineSize: 64, Assoc: 1}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NoRemap.String() != "no-remap" || CountAll.String() != "cml-all-misses" || CountConflict.String() != "cml-conflict-only" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy should render")
+	}
+}
+
+func TestRejectsUselessPageSize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PageShift = 20 // 1MB pages >> 16KB cache: no index bits to recolor
+	if _, err := New(dmConfig(), cfg, CountConflict); err == nil {
+		t.Error("recoloring with pages larger than the cache should be rejected")
+	}
+}
+
+func TestNoRemapNeverRemaps(t *testing.T) {
+	s := MustNew(dmConfig(), DefaultConfig(), NoRemap)
+	a, b := mem.Addr(0x10000), mem.Addr(0x14000)
+	for i := 0; i < 5000; i++ {
+		s.Access(a, false)
+		s.Access(b, false)
+	}
+	if s.Stats().Remaps != 0 {
+		t.Errorf("no-remap performed %d remaps", s.Stats().Remaps)
+	}
+	if s.Stats().Conflicts == 0 {
+		t.Error("ping-pong should classify conflicts")
+	}
+}
+
+func TestConflictCountingRemapsFightingPages(t *testing.T) {
+	// Two pages whose lines collide: recoloring one must stop the
+	// ping-pong. 8KB pages; A at 0x10000 (page 8), B at 0x14000 (page 10)
+	// collide in a 16KB cache.
+	cfg := DefaultConfig()
+	cfg.Threshold = 32
+	s := MustNew(dmConfig(), cfg, CountConflict)
+	a, b := mem.Addr(0x10000), mem.Addr(0x14000)
+	missesBefore := uint64(0)
+	for i := 0; i < 200; i++ {
+		s.Access(a, false)
+		s.Access(b, false)
+	}
+	missesBefore = s.Stats().Misses
+	if s.Stats().Remaps == 0 {
+		t.Fatal("conflicting pages never remapped")
+	}
+	// After the remap the pair must stop missing.
+	for i := 0; i < 200; i++ {
+		s.Access(a, false)
+		s.Access(b, false)
+	}
+	missesAfter := s.Stats().Misses - missesBefore
+	if missesAfter > 20 {
+		t.Errorf("after recoloring the pair still missed %d times in 400 accesses", missesAfter)
+	}
+}
+
+func TestConflictOnlyAvoidsPointlessRemaps(t *testing.T) {
+	// A pure capacity sweep (4x the cache, 4 lines per set) should not
+	// trigger conflict-counted remaps, but does trigger count-all remaps
+	// — the paper's argument for classification-aware counting.
+	sweep := func(p Policy) uint64 {
+		cfg := DefaultConfig()
+		cfg.Threshold = 32
+		s := MustNew(dmConfig(), cfg, p)
+		for pass := 0; pass < 8; pass++ {
+			for i := 0; i < 4*256; i++ {
+				s.Access(mem.Addr(0x100000+i*64), false)
+			}
+		}
+		return s.Stats().Remaps
+	}
+	all := sweep(CountAll)
+	conf := sweep(CountConflict)
+	if all == 0 {
+		t.Error("count-all should remap under a heavy miss stream")
+	}
+	if conf >= all {
+		t.Errorf("conflict-only (%d remaps) should remap far less than count-all (%d) on capacity misses", conf, all)
+	}
+}
+
+func TestMaxRemapsBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threshold = 8
+	cfg.MaxRemaps = 2
+	s := MustNew(dmConfig(), cfg, CountAll)
+	for i := 0; i < 20000; i++ {
+		s.Access(mem.Addr(0x100000+i%2048*64), false)
+	}
+	if s.Stats().Remaps > 2 {
+		t.Errorf("budget exceeded: %d remaps", s.Stats().Remaps)
+	}
+}
+
+func TestCountersDecay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threshold = 1000 // unreachable
+	cfg.Window = 64
+	s := MustNew(dmConfig(), cfg, CountAll)
+	for i := 0; i < 1000; i++ {
+		s.Access(mem.Addr(0x100000+i%1024*64), false)
+	}
+	for p, c := range s.counts {
+		if c >= 1000 {
+			t.Errorf("page %d counter %d never decayed", p, c)
+		}
+	}
+}
+
+func TestTranslationConsistency(t *testing.T) {
+	// After any number of remaps, a hit must still be a hit: the same
+	// address translates the same way until its page is remapped again.
+	cfg := DefaultConfig()
+	cfg.Threshold = 16
+	s := MustNew(dmConfig(), cfg, CountAll)
+	addrs := []mem.Addr{0x10000, 0x14000, 0x18000, 0x1c040, 0x20080}
+	for i := 0; i < 3000; i++ {
+		s.Access(addrs[i%len(addrs)], i%7 == 0)
+	}
+	// Back-to-back accesses to one address: second must hit.
+	s.Access(0x30000, false)
+	if !s.Access(0x30000, false) {
+		t.Error("repeat access missed; translation inconsistent")
+	}
+}

@@ -1,0 +1,217 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws of 100", same)
+	}
+}
+
+func TestReseedRestarts(t *testing.T) {
+	s := New(7)
+	first := s.Uint64()
+	for i := 0; i < 17; i++ {
+		s.Uint64()
+	}
+	s.Reseed(7)
+	if got := s.Uint64(); got != first {
+		t.Errorf("Reseed did not restart the stream: %d != %d", got, first)
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	s := New(0)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if s.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Errorf("seed 0 produced %d zero outputs of 100", zeros)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(-1) did not panic")
+		}
+	}()
+	New(1).Intn(-1)
+}
+
+func TestUint64nRoughlyUniform(t *testing.T) {
+	s := New(99)
+	const n, draws = 8, 80000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[s.Uint64n(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d: %d draws, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; mean < 0.47 || mean > 0.53 {
+		t.Errorf("Float64 mean %g far from 0.5", mean)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if s.Bool(0.25) {
+			trues++
+		}
+	}
+	if trues < 2200 || trues > 2800 {
+		t.Errorf("Bool(0.25) fired %d/10000 times", trues)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(8)
+	const m = 6.0
+	sum := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		v := s.Geometric(m)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / draws
+	if mean < m*0.9 || mean > m*1.1 {
+		t.Errorf("Geometric(%g) sample mean %g", m, mean)
+	}
+	if v := s.Geometric(0.5); v != 1 {
+		t.Errorf("Geometric(<=1) should return 1, got %d", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	out := make([]int, 37)
+	s.Perm(out)
+	seen := make([]bool, len(out))
+	for _, v := range out {
+		if v < 0 || v >= len(out) || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	s := New(13)
+	z := NewZipf(1024, 0.8)
+	var head, total int
+	for i := 0; i < 50000; i++ {
+		v := z.Sample(s)
+		if v >= 1024 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+		if v < 16 {
+			head++
+		}
+		total++
+	}
+	// With theta 0.8 the hottest 16 of 1024 values should carry far more
+	// than their uniform share (16/1024 = 1.6%).
+	frac := float64(head) / float64(total)
+	if frac < 0.15 {
+		t.Errorf("Zipf head fraction %.3f; distribution not skewed", frac)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 0.5) },
+		func() { NewZipf(10, 0) },
+		func() { NewZipf(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfLargeNFinite(t *testing.T) {
+	z := NewZipf(1<<30, 0.7)
+	s := New(17)
+	for i := 0; i < 100; i++ {
+		v := z.Sample(s)
+		if v >= 1<<30 || math.IsNaN(float64(v)) {
+			t.Fatalf("large-n Zipf sample invalid: %d", v)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/assist"
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+func iCfg() cache.Config {
+	return cache.Config{Name: "L1I", Size: 8 * 1024, LineSize: 64, Assoc: 1}
+}
+
+func TestRunWithICache(t *testing.T) {
+	b, _ := workload.ByName("gcc")
+	opt := Options{Instructions: 20_000}
+	opt.ICache = func() assist.System { return assist.MustNewBaseline(iCfg(), 0) }
+	r := Run(b, assist.MustNewBaseline(L1Config(), 0), opt)
+	if r.IFetch.Fetches == 0 {
+		t.Fatal("instruction fetches not counted")
+	}
+	if r.ISys.Accesses == 0 {
+		t.Fatal("I-system stats not collected")
+	}
+	if r.ISys.Misses == 0 {
+		t.Error("gcc's code footprint should miss an 8KB I-cache")
+	}
+	// The I-cache must cost performance relative to the perfect front end.
+	perfect := Run(b, assist.MustNewBaseline(L1Config(), 0), Options{Instructions: 20_000})
+	if r.IPC() >= perfect.IPC() {
+		t.Errorf("finite I-cache (%.3f) should be slower than perfect (%.3f)", r.IPC(), perfect.IPC())
+	}
+}
+
+func TestRunWithoutICacheLeavesIStatsEmpty(t *testing.T) {
+	b, _ := workload.ByName("gcc")
+	r := Run(b, assist.MustNewBaseline(L1Config(), 0), Options{Instructions: 10_000})
+	if r.IFetch.Fetches != 0 || r.ISys.Accesses != 0 {
+		t.Error("I-side stats should be zero without an attached I-cache")
+	}
+}
+
+func TestRunWithICacheDeterministic(t *testing.T) {
+	b, _ := workload.ByName("vortex")
+	opt := Options{Instructions: 15_000}
+	opt.ICache = func() assist.System { return assist.MustNewBaseline(iCfg(), 0) }
+	r1 := Run(b, assist.MustNewBaseline(L1Config(), 0), opt)
+	r2 := Run(b, assist.MustNewBaseline(L1Config(), 0), opt)
+	if r1.CPU != r2.CPU || r1.ISys != r2.ISys {
+		t.Error("I-cache runs diverged")
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// Binary trace format ("MCTR"):
+//
+//	header:  magic "MCTR" | version u8 | reserved [3]u8 | count u64
+//	record:  pc u64 | addr u64 | op u8 | dest u8 | src1 u8 | src2 u8 | flags u8
+//
+// All integers little-endian. flags bit 0 = branch taken. count may be zero
+// when the writer streamed an unknown number of records; readers then read
+// to EOF. The format is deliberately trivial: the point is replayable,
+// versioned traces, not compression.
+
+const (
+	traceMagic   = "MCTR"
+	traceVersion = 1
+	recordSize   = 8 + 8 + 5
+)
+
+// Writer streams instructions to an io.Writer in the binary trace format.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewWriter writes a header with count records promised (0 = unknown) and
+// returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer, count uint64) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [16]byte
+	copy(hdr[:4], traceMagic)
+	hdr[4] = traceVersion
+	binary.LittleEndian.PutUint64(hdr[8:], count)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one instruction record.
+func (w *Writer) Write(in Instr) error {
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(in.PC))
+	binary.LittleEndian.PutUint64(rec[8:], uint64(in.Addr))
+	rec[16] = byte(in.Op)
+	rec[17] = in.Dest
+	rec[18] = in.Src1
+	rec[19] = in.Src2
+	if in.Taken {
+		rec[20] = 1
+	}
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("trace: writing record %d: %w", w.count, err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll streams every instruction from s through a new Writer on w,
+// returning the number written.
+func WriteAll(w io.Writer, s Stream) (uint64, error) {
+	tw, err := NewWriter(w, 0)
+	if err != nil {
+		return 0, err
+	}
+	var in Instr
+	for s.Next(&in) {
+		if err := tw.Write(in); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// Reader replays a binary trace as a Stream.
+type Reader struct {
+	r        *bufio.Reader
+	declared uint64
+	read     uint64
+	err      error
+}
+
+// NewReader validates the header and returns a Reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (want %q)", hdr[:4], traceMagic)
+	}
+	if hdr[4] != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", hdr[4], traceVersion)
+	}
+	return &Reader{r: br, declared: binary.LittleEndian.Uint64(hdr[8:])}, nil
+}
+
+// Declared returns the record count promised by the header (0 = unknown).
+func (r *Reader) Declared() uint64 { return r.declared }
+
+// Err returns the first non-EOF error encountered while reading.
+func (r *Reader) Err() error { return r.err }
+
+// Next implements Stream. Truncated trailing records surface through Err.
+func (r *Reader) Next(out *Instr) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.declared != 0 && r.read >= r.declared {
+		return false
+	}
+	var rec [recordSize]byte
+	_, err := io.ReadFull(r.r, rec[:])
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			r.err = fmt.Errorf("trace: reading record %d: %w", r.read, err)
+		}
+		return false
+	}
+	out.PC = mem.Addr(binary.LittleEndian.Uint64(rec[0:]))
+	out.Addr = mem.Addr(binary.LittleEndian.Uint64(rec[8:]))
+	out.Op = OpClass(rec[16])
+	out.Dest = rec[17]
+	out.Src1 = rec[18]
+	out.Src2 = rec[19]
+	out.Taken = rec[20]&1 != 0
+	r.read++
+	return true
+}

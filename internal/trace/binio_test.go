@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	src := instrs(100)
+	var buf bytes.Buffer
+	n, err := WriteAll(&buf, NewSliceStream(src))
+	if err != nil || n != 100 {
+		t.Fatalf("WriteAll: n=%d err=%v", n, err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(r)
+	if r.Err() != nil {
+		t.Fatalf("reader error: %v", r.Err())
+	}
+	if len(got) != len(src) {
+		t.Fatalf("round trip length %d != %d", len(got), len(src))
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("instr %d: %+v != %+v", i, got[i], src[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(pc, addr uint64, op uint8, dest, s1, s2 uint8, taken bool) bool {
+		in := Instr{
+			PC:   mem.Addr(pc),
+			Addr: mem.Addr(addr),
+			Op:   OpClass(op % uint8(NumOpClasses)),
+			Dest: dest, Src1: s1, Src2: s2,
+			Taken: taken,
+		}
+		var buf bytes.Buffer
+		if _, err := WriteAll(&buf, NewSliceStream([]Instr{in})); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		var out Instr
+		return r.Next(&out) && out == in && !r.Next(&out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeclaredCountHonored(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range instrs(5) {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 5 {
+		t.Errorf("writer count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Declared() != 2 {
+		t.Errorf("declared = %d", r.Declared())
+	}
+	// Reader stops at the declared count even though more records exist.
+	if got := len(Drain(r)); got != 2 {
+		t.Errorf("read %d records, want 2", got)
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOPE00000000000000")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.Flush()
+	raw := buf.Bytes()
+	raw[4] = 99 // corrupt version
+	if _, err := NewReader(bytes.NewReader(raw)); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := NewReader(strings.NewReader("MC")); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestTruncatedRecordSurfacesError(t *testing.T) {
+	var buf bytes.Buffer
+	WriteAll(&buf, NewSliceStream(instrs(2)))
+	raw := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in Instr
+	if !r.Next(&in) {
+		t.Fatal("first record should read")
+	}
+	if r.Next(&in) {
+		t.Fatal("truncated record should not read")
+	}
+	if r.Err() == nil {
+		t.Error("truncation should surface through Err")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSliceStream(nil)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in Instr
+	if r.Next(&in) {
+		t.Error("empty trace should yield nothing")
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF should not be an error: %v", r.Err())
+	}
+}

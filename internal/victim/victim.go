@@ -1,0 +1,205 @@
+// Package victim implements the victim-cache architectures of Section 5.1:
+// a traditional Jouppi victim buffer, plus the paper's three
+// classification-filtered variants — no-swap-on-conflict-hit,
+// no-fill-on-capacity-eviction, and both combined.
+//
+// The filtered policies exploit the Miss Classification Table two ways:
+// swap filtering recognizes that conflict misses are the source of heavy
+// line ping-ponging between cache and buffer (so conflict hits are served
+// from the buffer in place), and fill filtering keeps capacity-evicted
+// lines — which will not be re-referenced soon — from churning buffer
+// entries. Both use the paper's most liberal identification, or-conflict.
+package victim
+
+import (
+	"fmt"
+
+	"repro/internal/assist"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Policy selects which of the paper's Figure-3 victim configurations to
+// model.
+type Policy struct {
+	// FilterSwaps serves conflict-classified buffer hits in place instead
+	// of swapping the line back into the cache (Figure 3, second bar).
+	FilterSwaps bool
+	// FilterFills bypasses the buffer when the evicted line fails the
+	// conflict filter, i.e. capacity evictions are dropped (third bar).
+	FilterFills bool
+	// Filter is the conflict filter; the paper uses or-conflict for all
+	// victim policies.
+	Filter core.Filter
+}
+
+// Traditional is the unfiltered Jouppi victim cache.
+var Traditional = Policy{Filter: core.OrConflict}
+
+// FilterSwapsPolicy, FilterFillsPolicy, and FilterBothPolicy are the
+// paper's three filtered variants.
+var (
+	FilterSwapsPolicy = Policy{FilterSwaps: true, Filter: core.OrConflict}
+	FilterFillsPolicy = Policy{FilterFills: true, Filter: core.OrConflict}
+	FilterBothPolicy  = Policy{FilterSwaps: true, FilterFills: true, Filter: core.OrConflict}
+)
+
+// Name returns the experiment label for the policy.
+func (p Policy) Name() string {
+	switch {
+	case p.FilterSwaps && p.FilterFills:
+		return "vc-filter-both"
+	case p.FilterSwaps:
+		return "vc-filter-swaps"
+	case p.FilterFills:
+		return "vc-filter-fills"
+	default:
+		return "vc-traditional"
+	}
+}
+
+// System is the victim-cache assist system.
+type System struct {
+	pol    Policy
+	l1     *cache.Cache
+	mct    *core.MCT
+	buffer *assist.Buffer
+	geom   mem.Geometry
+
+	stats assist.Stats
+}
+
+// New builds a victim-cache system over the L1 configuration with an
+// entries-deep buffer (the paper uses eight).
+func New(cfg cache.Config, tagBits, entries int, pol Policy) (*System, error) {
+	l1, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mct, err := core.New(core.Config{Sets: cfg.Sets(), TagBits: tagBits})
+	if err != nil {
+		return nil, err
+	}
+	if entries <= 0 {
+		return nil, fmt.Errorf("victim: buffer needs positive entries, got %d", entries)
+	}
+	return &System{
+		pol:    pol,
+		l1:     l1,
+		mct:    mct,
+		buffer: assist.NewBuffer(entries),
+		geom:   l1.Geometry(),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg cache.Config, tagBits, entries int, pol Policy) *System {
+	s, err := New(cfg, tagBits, entries, pol)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements assist.System.
+func (s *System) Name() string { return s.pol.Name() }
+
+// Buffer exposes the underlying buffer for diagnostics and tests.
+func (s *System) Buffer() *assist.Buffer { return s.buffer }
+
+// L1 exposes the underlying cache.
+func (s *System) L1() *cache.Cache { return s.l1 }
+
+// Access implements assist.System.
+func (s *System) Access(acc mem.Access) assist.Outcome {
+	isStore := acc.Type == mem.Store
+	s.stats.Accesses++
+	if s.l1.Access(acc.Addr, isStore) {
+		s.stats.L1Hits++
+		return assist.Outcome{L1Hit: true}
+	}
+
+	set := s.geom.Set(acc.Addr)
+	tag := s.geom.Tag(acc.Addr)
+	class := s.mct.ClassifyMiss(set, tag)
+	line := s.geom.Line(acc.Addr)
+
+	if entry, ok := s.buffer.Hit(line, isStore); ok {
+		s.stats.BufferHits++
+		s.stats.BufferHitsByOrigin[entry.Origin]++
+		// Swap filtering: a conflict-classified hit is served in place to
+		// avoid ping-ponging the pair of lines through the swap path.
+		if s.pol.FilterSwaps && s.pol.Filter.Eval(class == core.Conflict, entry.Conflict) {
+			return assist.Outcome{Class: class, BufferHit: true}
+		}
+		// Swap: buffer line moves into the cache, the displaced cache line
+		// moves into the buffer (becoming MRU, per Jouppi).
+		s.buffer.Remove(line)
+		s.stats.Swaps++
+		ev := s.l1.Fill(acc.Addr, isStore || entry.Dirty, class == core.Conflict)
+		if ev.Occurred {
+			s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
+			s.stashVictim(ev, class, true)
+		}
+		return assist.Outcome{Class: class, BufferHit: true, Swap: true}
+	}
+
+	// Full miss: line comes from the L2; the L1 eviction is offered to the
+	// buffer subject to fill filtering.
+	s.stats.Misses++
+	if class == core.Conflict {
+		s.stats.ConflictMisses++
+	} else {
+		s.stats.CapacityMisses++
+	}
+	ev := s.l1.Fill(acc.Addr, isStore, class == core.Conflict)
+	writeback := false
+	filled := false
+	if ev.Occurred {
+		s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
+		accept := true
+		if s.pol.FilterFills {
+			accept = s.pol.Filter.Eval(class == core.Conflict, ev.Conflict)
+		}
+		if accept {
+			writeback = s.stashVictim(ev, class, false)
+			filled = true
+		} else if ev.Dirty {
+			writeback = true
+		}
+	}
+	return assist.Outcome{
+		Class:      class,
+		CacheFill:  true,
+		BufferFill: filled,
+		Writeback:  writeback,
+	}
+}
+
+// stashVictim inserts an evicted cache line into the buffer, returning
+// whether the insertion displaced a dirty buffer entry (needing a
+// writeback). fromSwap distinguishes swap traffic from miss fills in the
+// statistics (Table 1 counts them separately).
+func (s *System) stashVictim(ev cache.Eviction, class core.Class, fromSwap bool) bool {
+	if !fromSwap {
+		s.stats.BufferFills++
+	}
+	dropped, wasFull := s.buffer.Insert(ev.Line, assist.Entry{
+		Origin:   assist.OriginVictim,
+		Dirty:    ev.Dirty,
+		Conflict: ev.Conflict,
+	})
+	return wasFull && dropped.Entry.Dirty
+}
+
+// Contains implements assist.System.
+func (s *System) Contains(addr mem.Addr) (inL1, inBuffer bool) {
+	return s.l1.Contains(addr), s.buffer.Contains(s.geom.Line(addr))
+}
+
+// PrefetchArrived implements assist.System; victim caches never prefetch.
+func (s *System) PrefetchArrived(mem.LineAddr) bool { return false }
+
+// Stats implements assist.System.
+func (s *System) Stats() assist.Stats { return s.stats }
