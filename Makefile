@@ -1,0 +1,34 @@
+# Build/test entry points. `make ci` is the gate PRs must keep green:
+# vet plus the full test suite under the race detector (the experiment
+# fan-outs all run through internal/runner's worker pool, so -race
+# exercises real parallelism even on CI runners with few cores).
+
+GO ?= go
+
+.PHONY: build vet test race ci fuzz clean-cache
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet race
+
+# Short fuzz passes over the binary trace decoder; CI runs the seed
+# corpus via `make test`, this target digs deeper locally.
+fuzz:
+	$(GO) test -fuzz FuzzReadTrace -fuzztime 30s ./internal/trace
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/trace
+
+# Drop all memoized experiment results (results/cache is also safely
+# deletable by hand; entries are invalidated automatically when the code
+# version or parameters change).
+clean-cache:
+	rm -rf results/cache

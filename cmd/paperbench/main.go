@@ -6,35 +6,59 @@
 //
 //	paperbench [-experiment all|fig1|fig2|fig3|table1|fig4|fig5|pseudo|fig6|fig7]
 //	           [-instructions N] [-accesses N] [-seed N] [-quick]
+//	           [-progress] [-nocache] [-cachedir DIR]
 //
 // The default scale (see internal/experiments.Default) is sized to finish
 // in minutes on a laptop while giving stable statistics; -quick shrinks it
 // for a fast sanity pass. EXPERIMENTS.md records a full run's output next
 // to the paper's numbers.
+//
+// Results are memoized on disk (default results/cache/) keyed by
+// experiment, parameters, seed, and code version, so re-running the same
+// configuration replays the tables from cache in milliseconds. -nocache
+// bypasses the cache entirely; deleting the directory invalidates it.
+// All diagnostics (timings, progress, cache hits) go to stderr; stdout
+// carries only the tables, byte-identical between cold and cached runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
 func main() {
+	os.Exit(paperbenchMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// paperbenchMain is the testable body of the command: it parses args,
+// runs the selected experiments, writes tables to stdout and diagnostics
+// to stderr, and returns the process exit code.
+func paperbenchMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		which  = flag.String("experiment", "all", "which artifact to regenerate: all, fig1, fig2, fig3, table1, fig4, fig5, pseudo, fig6, fig7, replacement, remap, cosched, depth, smt, icache, sweep")
-		instrs = flag.Uint64("instructions", 0, "instructions per timing run (0 = default scale)")
-		memAcc = flag.Uint64("accesses", 0, "memory accesses per functional run (0 = default scale)")
-		seed   = flag.Uint64("seed", 0, "workload seed (0 = repo default)")
-		quick  = flag.Bool("quick", false, "use the reduced test-scale parameters")
-		csvDir = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		which    = fs.String("experiment", "all", "which artifact to regenerate: all, fig1, fig2, fig3, table1, fig4, fig5, pseudo, fig6, fig7, replacement, remap, cosched, depth, smt, icache, sweep")
+		instrs   = fs.Uint64("instructions", 0, "instructions per timing run (0 = default scale)")
+		memAcc   = fs.Uint64("accesses", 0, "memory accesses per functional run (0 = default scale)")
+		seed     = fs.Uint64("seed", 0, "workload seed (0 = repo default)")
+		quick    = fs.Bool("quick", false, "use the reduced test-scale parameters")
+		csvDir   = fs.String("csvdir", "", "also write each table as CSV into this directory")
+		progress = fs.Bool("progress", false, "stream per-job progress and timing to stderr")
+		nocache  = fs.Bool("nocache", false, "recompute everything, ignoring the on-disk result cache")
+		cacheDir = fs.String("cachedir", runner.DefaultCacheDir, "on-disk result cache directory")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	p := experiments.Default()
 	if *quick {
@@ -50,18 +74,27 @@ func main() {
 		p.Seed = *seed
 	}
 
+	var cache *runner.Cache // nil = disabled (-nocache)
+	if !*nocache {
+		cache = runner.Open(*cacheDir)
+	}
+	if *progress {
+		runner.SetReporter(runner.NewWriterReporter(stderr))
+		defer runner.SetReporter(nil)
+	}
+
 	emit := func(slug string, t *stats.Table) {
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 		if *csvDir == "" {
 			return
 		}
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			fmt.Fprintln(stderr, "paperbench:", err)
 			os.Exit(1)
 		}
 		path := filepath.Join(*csvDir, slug+".csv")
 		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			fmt.Fprintln(stderr, "paperbench:", err)
 			os.Exit(1)
 		}
 	}
@@ -71,7 +104,7 @@ func main() {
 		wanted[strings.TrimSpace(w)] = true
 	}
 	all := wanted["all"]
-	ran := 0
+	ran, failed := 0, 0
 	run := func(names []string, f func()) {
 		hit := all
 		for _, n := range names {
@@ -82,74 +115,84 @@ func main() {
 		}
 		ran++
 		start := time.Now()
-		f()
-		fmt.Printf("(%s in %.1fs)\n\n", names[0], time.Since(start).Seconds())
+		// One panicking experiment (runner.MustMap re-raising a job
+		// failure, say) must not take down the rest of the sweep.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					failed++
+					fmt.Fprintf(stderr, "paperbench: experiment %s FAILED: %v\n", names[0], r)
+				}
+			}()
+			f()
+		}()
+		// Blank separator between experiment blocks (deterministic, so it
+		// belongs on stdout); the timing is diagnostic and goes to stderr.
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stderr, "(%s in %.1fs)\n", names[0], time.Since(start).Seconds())
 	}
 
 	run([]string{"fig1"}, func() {
-		r := experiments.Figure1(p)
+		r := memoize(cache, "fig1", p, stderr, func() experiments.Fig1Result { return experiments.Figure1(p) })
 		emit("fig1", r.Table())
-		fmt.Printf("paper: 88%%/86%% conflict/capacity on 16KB DM, 91%%/92%% on 64KB DM; ≥87%% of misses overall\n")
-		fmt.Printf("here : %.0f%%/%.0f%% on 16KB DM, %.0f%%/%.0f%% on 64KB DM\n",
+		fmt.Fprintf(stdout, "paper: 88%%/86%% conflict/capacity on 16KB DM, 91%%/92%% on 64KB DM; ≥87%% of misses overall\n")
+		fmt.Fprintf(stdout, "here : %.0f%%/%.0f%% on 16KB DM, %.0f%%/%.0f%% on 64KB DM\n",
 			100*r.MeanConflictAcc["16KB-DM"], 100*r.MeanCapacityAcc["16KB-DM"],
 			100*r.MeanConflictAcc["64KB-DM"], 100*r.MeanCapacityAcc["64KB-DM"])
 	})
 
 	run([]string{"fig2"}, func() {
-		r := experiments.Figure2(p)
+		r := memoize(cache, "fig2", p, stderr, func() experiments.Fig2Result { return experiments.Figure2(p) })
 		emit("fig2", r.Table())
-		fmt.Println("paper: 8-12 bits ≈ full-tag accuracy; 1 bit excludes ~half of capacity misses cheaply")
+		fmt.Fprintln(stdout, "paper: 8-12 bits ≈ full-tag accuracy; 1 bit excludes ~half of capacity misses cheaply")
 	})
 
-	var fig3 *experiments.Fig3Result
 	run([]string{"fig3", "table1"}, func() {
-		r := experiments.Figure3(p)
-		fig3 = &r
+		r := memoize(cache, "fig3", p, stderr, func() experiments.Fig3Result { return experiments.Figure3(p) })
 		if all || wanted["fig3"] {
 			emit("fig3", r.Table())
-			fmt.Println(r.Chart("geomean speedup over no victim cache (| marks 1.0)", 0))
-			fmt.Printf("paper: combined filtering ≈ +3%% over the traditional victim cache; here %+.1f%%\n",
+			fmt.Fprintln(stdout, r.Chart("geomean speedup over no victim cache (| marks 1.0)", 0))
+			fmt.Fprintf(stdout, "paper: combined filtering ≈ +3%% over the traditional victim cache; here %+.1f%%\n",
 				100*(r.CombinedOverTraditional()-1))
 		}
 		if all || wanted["table1"] {
 			emit("table1", r.Table1Text())
-			fmt.Println("paper Table 1: fills 6.6 -> 2.6 (more than halved), swaps 1.7 -> 0.1, total HR -0.3pp")
+			fmt.Fprintln(stdout, "paper Table 1: fills 6.6 -> 2.6 (more than halved), swaps 1.7 -> 0.1, total HR -0.3pp")
 		}
 	})
-	_ = fig3
 
 	run([]string{"fig4"}, func() {
-		r := experiments.Figure4(p)
+		r := memoize(cache, "fig4", p, stderr, func() experiments.Fig4Result { return experiments.Figure4(p) })
 		emit("fig4", r.Table())
-		fmt.Printf("paper: ~+25%% prefetch accuracy from filtering, little speedup by itself; here %+.0f%% accuracy\n",
+		fmt.Fprintf(stdout, "paper: ~+25%% prefetch accuracy from filtering, little speedup by itself; here %+.0f%% accuracy\n",
 			100*r.AccuracyGain())
 	})
 
 	run([]string{"fig5"}, func() {
-		r := experiments.Figure5(p)
+		r := memoize(cache, "fig5", p, stderr, func() experiments.Fig5Result { return experiments.Figure5(p) })
 		emit("fig5", r.Table())
 		hr, sp := r.CapacityBeatsMAT()
-		fmt.Printf("paper: the simple capacity filter beats the MAT on hit rate and speedup; here hitrate=%v speedup=%v\n", hr, sp)
+		fmt.Fprintf(stdout, "paper: the simple capacity filter beats the MAT on hit rate and speedup; here hitrate=%v speedup=%v\n", hr, sp)
 	})
 
 	run([]string{"pseudo"}, func() {
-		r := experiments.PseudoAssoc(p)
+		r := memoize(cache, "pseudo", p, stderr, func() experiments.PseudoResult { return experiments.PseudoAssoc(p) })
 		emit("pseudo", r.Table())
 		base, mct := r.MissRates()
-		fmt.Printf("paper: MCT policy +1.5%% over base PA, within 0.9%% of true 2-way, miss rate 10.22%%->9.83%%\n")
-		fmt.Printf("here : %+.1f%% over base PA, %.1f%% vs 2-way, miss rate %.2f%%->%.2f%%\n",
+		fmt.Fprintf(stdout, "paper: MCT policy +1.5%% over base PA, within 0.9%% of true 2-way, miss rate 10.22%%->9.83%%\n")
+		fmt.Fprintf(stdout, "here : %+.1f%% over base PA, %.1f%% vs 2-way, miss rate %.2f%%->%.2f%%\n",
 			100*(r.MCTOverBase()-1), 100*(r.MCTVsTwoWay()-1), 100*base, 100*mct)
 	})
 
 	run([]string{"fig6", "fig7"}, func() {
-		r := experiments.Figure6(p)
+		r := memoize(cache, "fig6", p, stderr, func() experiments.Fig6Result { return experiments.Figure6(p) })
 		if all || wanted["fig6"] {
 			emit("fig6", r.Table())
-			fmt.Println(r.Chart("geomean speedup over no buffer (| marks 1.0)", 0))
+			fmt.Fprintln(stdout, r.Chart("geomean speedup over no buffer (| marks 1.0)", 0))
 			sn, s := r.BestSingleGain()
 			cn, c := r.BestComboGain()
-			fmt.Printf("paper: best combo ≈ 2x the best single policy's gain (~16%% better), ~30%% miss-rate cut\n")
-			fmt.Printf("here : best single %s %+.1f%%, best combo %s %+.1f%%, miss-rate cut %.0f%%\n",
+			fmt.Fprintf(stdout, "paper: best combo ≈ 2x the best single policy's gain (~16%% better), ~30%% miss-rate cut\n")
+			fmt.Fprintf(stdout, "here : best single %s %+.1f%%, best combo %s %+.1f%%, miss-rate cut %.0f%%\n",
 				sn, 100*(s-1), cn, 100*(c-1), 100*r.MissRateReduction())
 		}
 		if all || wanted["fig7"] {
@@ -158,60 +201,84 @@ func main() {
 	})
 
 	run([]string{"replacement"}, func() {
-		r := experiments.Replacement(p)
+		r := memoize(cache, "replacement", p, stderr, func() experiments.ReplacementResult { return experiments.Replacement(p) })
 		emit("replacement", r.Table())
-		fmt.Println("paper Sec 5.6: modest on this suite by the paper's own admission; the bias must not hurt")
+		fmt.Fprintln(stdout, "paper Sec 5.6: modest on this suite by the paper's own admission; the bias must not hurt")
 	})
 
 	run([]string{"remap"}, func() {
-		r := experiments.Remap(p)
+		r := memoize(cache, "remap", p, stderr, func() experiments.RemapResult { return experiments.Remap(p) })
 		emit("remap", r.Table())
 		ra, rc, ma, mc := r.RemapEfficiency()
-		fmt.Printf("paper Sec 5.6: count only conflict misses to avoid pointless remaps\n")
-		fmt.Printf("here : all-miss counting %d remaps (mean miss %.2f%%); conflict-only %d remaps (mean miss %.2f%%)\n",
+		fmt.Fprintf(stdout, "paper Sec 5.6: count only conflict misses to avoid pointless remaps\n")
+		fmt.Fprintf(stdout, "here : all-miss counting %d remaps (mean miss %.2f%%); conflict-only %d remaps (mean miss %.2f%%)\n",
 			ra, 100*ma, rc, 100*mc)
 	})
 
 	run([]string{"depth"}, func() {
-		r := experiments.MCTDepth(p)
+		r := memoize(cache, "depth", p, stderr, func() experiments.DepthResult { return experiments.MCTDepth(p) })
 		emit("depth", r.Table())
-		fmt.Println("extension the paper set aside: deeper eviction history buys conflict accuracy")
-		fmt.Println("but loses capacity accuracy to false matches — the one-deep table is the sweet spot")
+		fmt.Fprintln(stdout, "extension the paper set aside: deeper eviction history buys conflict accuracy")
+		fmt.Fprintln(stdout, "but loses capacity accuracy to false matches — the one-deep table is the sweet spot")
 	})
 
 	run([]string{"smt"}, func() {
-		r := experiments.SMTStudy(p)
+		r := memoize(cache, "smt", p, stderr, func() experiments.SMTResult { return experiments.SMTStudy(p) })
 		emit("smt", r.Table())
-		fmt.Printf("paper Sec 5.6: the techniques \"apply to an even greater extent with multithreaded caches\"\n")
-		fmt.Printf("here : AMB gains %+.1f%% on 2-thread shared caches vs %+.1f%% on solo runs\n",
+		fmt.Fprintf(stdout, "paper Sec 5.6: the techniques \"apply to an even greater extent with multithreaded caches\"\n")
+		fmt.Fprintf(stdout, "here : AMB gains %+.1f%% on 2-thread shared caches vs %+.1f%% on solo runs\n",
 			100*(r.PairGain()-1), 100*(r.SingleGain-1))
 	})
 
 	run([]string{"icache"}, func() {
-		r := experiments.ICacheStudy(p)
+		r := memoize(cache, "icache", p, stderr, func() experiments.ICacheResult { return experiments.ICacheStudy(p) })
 		emit("icache", r.Table())
-		fmt.Printf("paper: techniques \"should, in general, also apply to the instruction cache\"\n")
-		fmt.Printf("here : bare 8KB L1I costs %.1f%%; a 32-entry filtered victim buffer recovers %+.1f%%\n",
+		fmt.Fprintf(stdout, "paper: techniques \"should, in general, also apply to the instruction cache\"\n")
+		fmt.Fprintf(stdout, "here : bare 8KB L1I costs %.1f%%; a 32-entry filtered victim buffer recovers %+.1f%%\n",
 			100*(1-r.ICacheCost()), 100*(r.VictimGain()-1))
 	})
 
 	run([]string{"sweep"}, func() {
-		r := experiments.ConfigSweep(p)
+		r := memoize(cache, "sweep", p, stderr, func() experiments.SweepResult { return experiments.ConfigSweep(p) })
 		emit("sweep", r.Table())
-		fmt.Printf("generalization: worst-case overall accuracy %.1f%% across the grid;\n", 100*r.MinOverallAcc())
-		fmt.Println("conflict share collapses with associativity, which is why the paper")
-		fmt.Println("points at multithreaded and OLTP workloads rather than bigger caches")
+		fmt.Fprintf(stdout, "generalization: worst-case overall accuracy %.1f%% across the grid;\n", 100*r.MinOverallAcc())
+		fmt.Fprintln(stdout, "conflict share collapses with associativity, which is why the paper")
+		fmt.Fprintln(stdout, "points at multithreaded and OLTP workloads rather than bigger caches")
 	})
 
 	run([]string{"cosched"}, func() {
-		r := experiments.CoSchedule(p)
+		r := memoize(cache, "cosched", p, stderr, func() experiments.CoScheduleResult { return experiments.CoSchedule(p) })
 		emit("cosched", r.Table())
-		fmt.Println("paper Sec 5.6: jobs producing inordinate conflict misses together are bad co-schedule candidates")
+		fmt.Fprintln(stdout, "paper Sec 5.6: jobs producing inordinate conflict misses together are bad co-schedule candidates")
 	})
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *which)
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "paperbench: unknown experiment %q\n", *which)
+		fs.Usage()
+		return 2
 	}
+	if cache != nil {
+		hits, misses := cache.Stats()
+		fmt.Fprintf(stderr, "(cache: %d hit(s), %d miss(es) under %s)\n", hits, misses, *cacheDir)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "paperbench: %d of %d experiment group(s) failed\n", failed, ran)
+		return 1
+	}
+	return 0
+}
+
+// memoize wraps one experiment in the on-disk cache. On a hit the
+// experiment is skipped entirely; the returned value is always the JSON
+// round-trip of the computed one, so stdout is byte-identical whether the
+// result was computed or replayed (cache diagnostics go to stderr).
+func memoize[T any](c *runner.Cache, slug string, p experiments.Params, stderr io.Writer, f func() T) T {
+	v, hit, err := runner.Memo(c, slug, p, func() (T, error) { return f(), nil })
+	if err != nil {
+		panic(err)
+	}
+	if hit {
+		fmt.Fprintf(stderr, "(%s: cached)\n", slug)
+	}
+	return v
 }

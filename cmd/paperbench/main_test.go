@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestFig2QuickGolden pins the exact stdout of
+// `paperbench -quick -experiment fig2` against a committed golden file —
+// a whole-pipeline regression net over the workload generators, the
+// cache model, the MCT, the runner's ordered merge, and the table
+// renderer at once. Regenerate with: go test ./cmd/paperbench -update
+func TestFig2QuickGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := paperbenchMain(
+		[]string{"-quick", "-experiment", "fig2", "-cachedir", filepath.Join(t.TempDir(), "cache")},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+
+	golden := filepath.Join("testdata", "fig2_quick.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("fig2 -quick output drifted from %s.\n--- got ---\n%s\n--- want ---\n%s",
+			golden, stdout.String(), want)
+	}
+}
+
+// TestFig2CacheReplayIdentical runs the same invocation twice against one
+// cache directory: the second run must hit the cache and produce
+// byte-identical stdout — the memoized replay is indistinguishable from
+// the computation.
+func TestFig2CacheReplayIdentical(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	args := []string{"-quick", "-experiment", "fig2", "-cachedir", dir}
+
+	var out1, err1 bytes.Buffer
+	if code := paperbenchMain(args, &out1, &err1); code != 0 {
+		t.Fatalf("first run exit %d:\n%s", code, err1.String())
+	}
+	if strings.Contains(err1.String(), "cached") {
+		t.Fatal("first run must not hit the cache")
+	}
+
+	var out2, err2 bytes.Buffer
+	if code := paperbenchMain(args, &out2, &err2); code != 0 {
+		t.Fatalf("second run exit %d:\n%s", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "(fig2: cached)") {
+		t.Fatalf("second run must hit the cache, stderr:\n%s", err2.String())
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Error("cached replay stdout differs from computed stdout")
+	}
+}
+
+// TestNoCacheBypassesDisk verifies -nocache never reads or writes the
+// cache directory.
+func TestNoCacheBypassesDisk(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	var out, errB bytes.Buffer
+	if code := paperbenchMain(
+		[]string{"-quick", "-experiment", "fig2", "-nocache", "-cachedir", dir},
+		&out, &errB); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, errB.String())
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Error("-nocache must not create the cache directory")
+	}
+	if strings.Contains(errB.String(), "cache:") {
+		t.Error("-nocache must not report cache stats")
+	}
+}
+
+// TestUnknownExperimentExitCode keeps the CLI contract: an unknown
+// -experiment value is a usage error.
+func TestUnknownExperimentExitCode(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := paperbenchMain([]string{"-experiment", "nonsense"}, &out, &errB); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errB.String(), "unknown experiment") {
+		t.Errorf("missing diagnostic, stderr:\n%s", errB.String())
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// TestFilterScenarioEndToEnd drives the paper's four eviction filters
+// through a real cache+MCT composition on a hand-computed access pattern,
+// pinning Section 3's semantics at the MissEvent level rather than just
+// Filter.Eval: the incoming-miss classification comes from the MCT, the
+// evicted bit from the displaced line's fill-time classification.
+//
+// The cache is 256B direct-mapped with 64B lines (4 sets); A=0x000,
+// B=0x100, C=0x200 all map to set 0 with distinct tags. Hand-derived
+// trace (depth-1 MCT, initially empty):
+//
+//	#  addr  outcome                         incoming  evicted-bit
+//	1  A     cold miss, capacity, no evict      cap       —
+//	2  B     miss, capacity, evicts A(bit=0)    cap       0
+//	3  A     miss, CONFLICT (A just evicted),   conf      0
+//	          evicts B(bit=0), fills A bit=1
+//	4  B     miss, CONFLICT, evicts A(bit=1)    conf      1
+//	5  C     miss, capacity (last evict was A,  cap       1
+//	          tag differs), evicts B(bit=1)
+//	6  C     hit — no event
+func TestFilterScenarioEndToEnd(t *testing.T) {
+	const A, B, C = mem.Addr(0x000), mem.Addr(0x100), mem.Addr(0x200)
+	cc := MustAttach(cache.MustNew(cache.Config{Name: "T", Size: 256, LineSize: 64, Assoc: 1}), 0)
+
+	steps := []struct {
+		addr      mem.Addr
+		wantHit   bool
+		wantClass Class
+		wantEvict bool
+		wantBit   bool
+		// want[InConflict], [OutConflict], [AndConflict], [OrConflict]
+		want [4]bool
+	}{
+		{A, false, Capacity, false, false, [4]bool{false, false, false, false}},
+		{B, false, Capacity, true, false, [4]bool{false, false, false, false}},
+		{A, false, Conflict, true, false, [4]bool{false, true, false, true}},
+		{B, false, Conflict, true, true, [4]bool{true, true, true, true}},
+		{C, false, Capacity, true, true, [4]bool{true, false, false, true}},
+		{C, true, Capacity, false, false, [4]bool{false, false, false, false}},
+	}
+	for i, s := range steps {
+		hit, ev := cc.Access(s.addr, false)
+		if hit != s.wantHit {
+			t.Fatalf("step %d (addr %#x): hit = %v, want %v", i+1, s.addr, hit, s.wantHit)
+		}
+		if hit {
+			continue
+		}
+		if ev.Class != s.wantClass {
+			t.Errorf("step %d: class = %v, want %v", i+1, ev.Class, s.wantClass)
+		}
+		if ev.Eviction.Occurred != s.wantEvict {
+			t.Errorf("step %d: eviction occurred = %v, want %v", i+1, ev.Eviction.Occurred, s.wantEvict)
+		}
+		if ev.Eviction.Occurred && ev.Eviction.Conflict != s.wantBit {
+			t.Errorf("step %d: evicted bit = %v, want %v", i+1, ev.Eviction.Conflict, s.wantBit)
+		}
+		for fi, f := range Filters {
+			if got := ev.Filter(f); got != s.want[fi] {
+				t.Errorf("step %d: %s = %v, want %v", i+1, f, got, s.want[fi])
+			}
+		}
+		// NoFilter matches every miss event by definition.
+		if !ev.Filter(NoFilter) {
+			t.Errorf("step %d: NoFilter must match every eviction event", i+1)
+		}
+	}
+}

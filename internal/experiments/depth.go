@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -41,16 +42,10 @@ func MCTDepth(p Params) DepthResult {
 	p = p.withDefaults()
 	cfg := cache.Config{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: 1}
 	depths := []int{1, 2, 3, 4}
-	points := make([]DepthPoint, len(depths))
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for di, depth := range depths {
-		wg.Add(1)
-		go func(di, depth int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	points, err := runner.MapN(context.Background(), len(depths),
+		func(i int) string { return fmt.Sprintf("depth/%d", depths[i]) },
+		func(_ context.Context, di int) (DepthPoint, error) {
+			depth := depths[di]
 			var agg classify.Accuracy
 			var turb classify.Accuracy
 			for _, b := range workload.Suite() {
@@ -60,17 +55,18 @@ func MCTDepth(p Params) DepthResult {
 					turb = acc
 				}
 			}
-			points[di] = DepthPoint{
+			return DepthPoint{
 				Depth:             depth,
 				ConflictAcc:       agg.ConflictAccuracy(),
 				CapacityAcc:       agg.CapacityAccuracy(),
 				OverallAcc:        agg.OverallAccuracy(),
 				Turb3dConflictAcc: turb.ConflictAccuracy(),
 				StorageBits:       core.MustNewDeep(core.Config{Sets: cfg.Sets(), TagBits: 10}, depth).StorageBits(0),
-			}
-		}(di, depth)
+			}, nil
+		})
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
 	return DepthResult{Points: points}
 }
 

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// detParams is deliberately tiny: determinism is scale-independent, and
+// the point of these tests is the runner's ordered merge, not statistics.
+func detParams() Params {
+	return Params{MemAccesses: 20_000, Instructions: 20_000, Seed: 12345}
+}
+
+// withGOMAXPROCS runs f under the given GOMAXPROCS, restoring the old
+// value afterward. The runner sizes its worker pool from GOMAXPROCS at
+// Map time, so this exercises genuinely different pool widths — including
+// many workers on a single-core machine.
+func withGOMAXPROCS(n int, f func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// TestFigure1DeterministicAcrossWorkerCounts proves the runner's ordered
+// merge: the same sweep on a 1-wide and an 8-wide pool must render
+// byte-identical tables, no matter how completion order scrambled.
+func TestFigure1DeterministicAcrossWorkerCounts(t *testing.T) {
+	p := detParams()
+	var serial, parallel string
+	withGOMAXPROCS(1, func() { serial = Figure1(p).Table().String() })
+	withGOMAXPROCS(8, func() { parallel = Figure1(p).Table().String() })
+	if serial != parallel {
+		t.Errorf("Figure1 table differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts does the same for the
+// configuration-grid sweep, which fans out over 12 cache configurations.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	p := detParams()
+	var serial, parallel string
+	withGOMAXPROCS(1, func() { serial = ConfigSweep(p).Table().String() })
+	withGOMAXPROCS(8, func() { parallel = ConfigSweep(p).Table().String() })
+	if serial != parallel {
+		t.Errorf("ConfigSweep table differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestFigure1RepeatableAtFixedWidth guards the weaker property the wide
+// pool also needs: two identical parallel invocations agree with each
+// other (no shared mutable state leaks between runs).
+func TestFigure1RepeatableAtFixedWidth(t *testing.T) {
+	p := detParams()
+	var a, b string
+	withGOMAXPROCS(8, func() {
+		a = Figure1(p).Table().String()
+		b = Figure1(p).Table().String()
+	})
+	if a != b {
+		t.Error("two identical Figure1 runs disagree")
+	}
+}

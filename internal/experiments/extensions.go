@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/assist"
 	"repro/internal/assoc"
 	"repro/internal/cache"
 	"repro/internal/mt"
 	"repro/internal/remap"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -85,15 +86,10 @@ type RemapResult struct {
 func Remap(p Params) RemapResult {
 	p = p.withDefaults()
 	benches := workload.Carried()
-	rows := make([]RemapRow, len(benches))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for bi, b := range benches {
-		wg.Add(1)
-		go func(bi int, b *workload.Benchmark) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	rows, err := runner.MapN(context.Background(), len(benches),
+		func(i int) string { return "remap/" + benches[i].Name },
+		func(_ context.Context, bi int) (RemapRow, error) {
+			b := benches[bi]
 			row := RemapRow{Bench: b.Name}
 			for pi, pol := range []remap.Policy{remap.NoRemap, remap.CountAll, remap.CountConflict} {
 				s := remap.MustNew(sim.L1Config(), remap.DefaultConfig(), pol)
@@ -114,10 +110,11 @@ func Remap(p Params) RemapResult {
 					}
 				}
 			}
-			rows[bi] = row
-		}(bi, b)
+			return row, nil
+		})
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
 	return RemapResult{Rows: rows}
 }
 

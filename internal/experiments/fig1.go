@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/classify"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -45,21 +46,23 @@ func Figure1(p Params) Fig1Result {
 	suite := workload.Suite()
 	rows := make([]Fig1Row, len(suite))
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for bi, b := range suite {
-		rows[bi] = Fig1Row{Bench: b.Name, Cells: make([]Fig1Cell, len(figure1Configs))}
+	tasks := make([]runner.Task[Fig1Cell], 0, len(suite)*len(figure1Configs))
+	for _, b := range suite {
+		b := b
 		for ci := range figure1Configs {
-			wg.Add(1)
-			go func(bi, ci int, b *workload.Benchmark) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				rows[bi].Cells[ci] = figure1Cell(b, figure1Configs[ci].Name, figure1Configs[ci].Cfg, p)
-			}(bi, ci, b)
+			cfg := figure1Configs[ci]
+			tasks = append(tasks, runner.NewTask("fig1/"+b.Name+"/"+cfg.Name,
+				func(context.Context) (Fig1Cell, error) {
+					return figure1Cell(b, cfg.Name, cfg.Cfg, p)
+				}))
 		}
 	}
-	wg.Wait()
+	cells := runner.MustMap(context.Background(), tasks)
+	for bi, b := range suite {
+		row := Fig1Row{Bench: b.Name, Cells: make([]Fig1Cell, len(figure1Configs))}
+		copy(row.Cells, cells[bi*len(figure1Configs):(bi+1)*len(figure1Configs)])
+		rows[bi] = row
+	}
 
 	res := Fig1Result{
 		Rows:            rows,
@@ -88,10 +91,10 @@ func Figure1(p Params) Fig1Result {
 	return res
 }
 
-func figure1Cell(b *workload.Benchmark, name string, cfg cache.Config, p Params) Fig1Cell {
+func figure1Cell(b *workload.Benchmark, name string, cfg cache.Config, p Params) (Fig1Cell, error) {
 	r, err := classify.NewRun(cfg, TagBitsFull)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: figure 1 %s/%s: %v", b.Name, name, err))
+		return Fig1Cell{}, fmt.Errorf("experiments: figure 1 %s/%s: %w", b.Name, name, err)
 	}
 	s := trace.NewMemOnly(b.Stream(p.Seed))
 	var in trace.Instr
@@ -106,7 +109,7 @@ func figure1Cell(b *workload.Benchmark, name string, cfg cache.Config, p Params)
 		OverallAcc:    acc.OverallAccuracy(),
 		ConflictShare: acc.ConflictShare(),
 		MissRate:      r.CC.Cache().Stats().MissRate(),
-	}
+	}, nil
 }
 
 // Table renders the Figure-1 data as text.

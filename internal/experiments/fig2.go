@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/classify"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -39,20 +40,15 @@ func Figure2(p Params) Fig2Result {
 	cfg := cache.Config{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: 1}
 	suite := workload.Suite()
 
-	points := make([]Fig2Point, len(Fig2TagBits))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for pi, bits := range Fig2TagBits {
-		wg.Add(1)
-		go func(pi, bits int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	points, err := runner.MapN(context.Background(), len(Fig2TagBits),
+		func(i int) string { return fmt.Sprintf("fig2/bits=%d", Fig2TagBits[i]) },
+		func(_ context.Context, pi int) (Fig2Point, error) {
+			bits := Fig2TagBits[pi]
 			var acc classify.Accuracy
 			for _, b := range suite {
 				r, err := classify.NewRun(cfg, bits)
 				if err != nil {
-					panic(fmt.Sprintf("experiments: figure 2 bits=%d: %v", bits, err))
+					return Fig2Point{}, fmt.Errorf("experiments: figure 2 bits=%d: %w", bits, err)
 				}
 				s := trace.NewMemOnly(b.Stream(p.Seed))
 				var in trace.Instr
@@ -61,16 +57,17 @@ func Figure2(p Params) Fig2Result {
 				}
 				acc.Merge(r.Acc)
 			}
-			points[pi] = Fig2Point{
+			return Fig2Point{
 				TagBits:       bits,
 				ConflictAcc:   acc.ConflictAccuracy(),
 				CapacityAcc:   acc.CapacityAccuracy(),
 				OverallAcc:    acc.OverallAccuracy(),
 				ConflictShare: acc.ConflictShare(),
-			}
-		}(pi, bits)
+			}, nil
+		})
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
 	return Fig2Result{Points: points}
 }
 

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/assist"
 	"repro/internal/cache"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/victim"
@@ -54,17 +55,12 @@ func iCacheConfig() cache.Config {
 func ICacheStudy(p Params) ICacheResult {
 	p = p.withDefaults()
 	benches := workload.Carried()
-	rows := make([]ICacheRow, len(benches))
 	dcache := sim.L1Config()
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for bi, b := range benches {
-		wg.Add(1)
-		go func(bi int, b *workload.Benchmark) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	rows, err := runner.MapN(context.Background(), len(benches),
+		func(i int) string { return "icache/" + benches[i].Name },
+		func(_ context.Context, bi int) (ICacheRow, error) {
+			b := benches[bi]
 			base := sim.Options{Instructions: p.Instructions, Seed: p.Seed}
 
 			perfect := sim.Run(b, assist.MustNewBaseline(dcache, TagBitsFull), base)
@@ -91,10 +87,11 @@ func ICacheStudy(p Params) ICacheResult {
 					row.IConflictShare = float64(bare.ISys.ConflictMisses) / float64(bare.ISys.Misses)
 				}
 			}
-			rows[bi] = row
-		}(bi, b)
+			return row, nil
+		})
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
 	return ICacheResult{Rows: rows}
 }
 

@@ -1,13 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
+	"sort"
 
 	"repro/internal/amb"
 	"repro/internal/assist"
 	"repro/internal/cpu"
 	"repro/internal/hier"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -84,56 +86,62 @@ func SMTStudy(p Params) SMTResult {
 	cfg := sim.L1Config()
 	perThread := p.Instructions / 2
 
-	// Solo runs (both policies) for every benchmark that appears in a pair.
-	names := map[string]bool{}
+	// Solo runs (both policies) for every benchmark that appears in a
+	// pair. The name set is sorted so both the execution schedule and the
+	// mean/geomean aggregation below are deterministic — float reduction
+	// is order-sensitive, and map iteration order is not.
+	seen := map[string]bool{}
+	var names []string
 	for _, pr := range smtPairs {
-		names[pr[0]] = true
-		names[pr[1]] = true
+		for _, n := range pr {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
 	}
-	soloGain := map[string]float64{}
-	soloConf := map[string]float64{}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for name := range names {
-		wg.Add(1)
-		go func(name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			b, _ := workload.ByName(name)
+	sort.Strings(names)
+
+	type solo struct{ Gain, Conf float64 }
+	solos, err := runner.MapN(context.Background(), len(names),
+		func(i int) string { return "smt/solo/" + names[i] },
+		func(_ context.Context, i int) (solo, error) {
+			b, ok := workload.ByName(names[i])
+			if !ok {
+				return solo{}, fmt.Errorf("experiments: smt: unknown benchmark %q", names[i])
+			}
 			opt := sim.Options{Instructions: perThread, Seed: p.Seed}
 			base := sim.Run(b, assist.MustNewBaseline(cfg, TagBitsFull), opt)
 			boost := sim.Run(b, amb.MustNew(cfg, TagBitsFull, assist.DefaultEntries, amb.VictPref), opt)
-			mu.Lock()
-			soloGain[name] = boost.IPC() / base.IPC()
+			s := solo{Gain: boost.IPC() / base.IPC()}
 			if m := base.Sys.Misses; m > 0 {
-				soloConf[name] = float64(base.Sys.ConflictMisses) / float64(m)
+				s.Conf = float64(base.Sys.ConflictMisses) / float64(m)
 			}
-			mu.Unlock()
-		}(name)
+			return s, nil
+		})
+	if err != nil {
+		panic(err)
 	}
 
-	pairs := make([]SMTPair, len(smtPairs))
-	for pi, pr := range smtPairs {
-		wg.Add(1)
-		go func(pi int, a, b string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	pairs, err := runner.MapN(context.Background(), len(smtPairs),
+		func(i int) string { return "smt/pair/" + smtPairs[i][0] + "+" + smtPairs[i][1] },
+		func(_ context.Context, pi int) (SMTPair, error) {
+			a, b := smtPairs[pi][0], smtPairs[pi][1]
 			baseIPC, confShare := smtRun(a, b, perThread, p.Seed,
 				func() assist.System { return assist.MustNewBaseline(cfg, TagBitsFull) })
 			ambIPC, _ := smtRun(a, b, perThread, p.Seed,
 				func() assist.System { return amb.MustNew(cfg, TagBitsFull, assist.DefaultEntries, amb.VictPref) })
-			pairs[pi] = SMTPair{A: a, B: b, BaseIPC: baseIPC, AMBIPC: ambIPC, ConflictShareBase: confShare}
-		}(pi, pr[0], pr[1])
+			return SMTPair{A: a, B: b, BaseIPC: baseIPC, AMBIPC: ambIPC, ConflictShareBase: confShare}, nil
+		})
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
 
-	var gains, confs []float64
-	for name := range names {
-		gains = append(gains, soloGain[name])
-		confs = append(confs, soloConf[name])
+	gains := make([]float64, len(solos))
+	confs := make([]float64, len(solos))
+	for i, s := range solos {
+		gains[i] = s.Gain
+		confs[i] = s.Conf
 	}
 	return SMTResult{
 		Pairs:               pairs,

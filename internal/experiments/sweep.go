@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/classify"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -37,27 +38,23 @@ type SweepResult struct {
 // and OLTP workloads, not bigger caches, to be the technique's future.
 func ConfigSweep(p Params) SweepResult {
 	p = p.withDefaults()
-	var cells []SweepCell
+	var grid []SweepCell
 	for _, sizeKB := range []int{8, 16, 32, 64} {
 		for _, assoc := range []int{1, 2, 4} {
-			cells = append(cells, SweepCell{SizeKB: sizeKB, Assoc: assoc})
+			grid = append(grid, SweepCell{SizeKB: sizeKB, Assoc: assoc})
 		}
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for ci := range cells {
-		wg.Add(1)
-		go func(c *SweepCell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	cells, err := runner.MapN(context.Background(), len(grid),
+		func(i int) string { return fmt.Sprintf("sweep/%dKB-%dway", grid[i].SizeKB, grid[i].Assoc) },
+		func(_ context.Context, ci int) (SweepCell, error) {
+			c := grid[ci]
 			cfg := cache.Config{Name: "L1D", Size: c.SizeKB << 10, LineSize: 64, Assoc: c.Assoc}
 			var agg classify.Accuracy
 			var accesses, misses uint64
 			for _, b := range workload.Suite() {
 				r, err := classify.NewRun(cfg, TagBitsFull)
 				if err != nil {
-					panic(fmt.Sprintf("experiments: sweep %dKB/%d-way: %v", c.SizeKB, c.Assoc, err))
+					return c, fmt.Errorf("experiments: sweep %dKB/%d-way: %w", c.SizeKB, c.Assoc, err)
 				}
 				s := trace.NewMemOnly(b.Stream(p.Seed))
 				var in trace.Instr
@@ -74,9 +71,11 @@ func ConfigSweep(p Params) SweepResult {
 			c.ConflictAcc = agg.ConflictAccuracy()
 			c.CapacityAcc = agg.CapacityAccuracy()
 			c.OverallAcc = agg.OverallAccuracy()
-		}(&cells[ci])
+			return c, nil
+		})
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
 	return SweepResult{Cells: cells}
 }
 

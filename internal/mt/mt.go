@@ -14,13 +14,14 @@
 package mt
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -206,25 +207,15 @@ func CoScheduleMatrix(benches []*workload.Benchmark, cfg Config) ([]PairScore, e
 			jobs = append(jobs, job{i, j})
 		}
 	}
-	scores := make([]PairScore, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	var firstErr error
-	var mu sync.Mutex
-	for ji, jb := range jobs {
-		wg.Add(1)
-		go func(ji int, jb job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	scores, err := runner.MapN(context.Background(), len(jobs),
+		func(i int) string {
+			return "cosched/" + benches[jobs[i].i].Name + "+" + benches[jobs[i].j].Name
+		},
+		func(_ context.Context, ji int) (PairScore, error) {
+			jb := jobs[ji]
 			r, err := Share([]*workload.Benchmark{benches[jb.i], benches[jb.j]}, cfg)
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
+				return PairScore{}, err
 			}
 			var miss, acc, cross uint64
 			for _, t := range r.Threads {
@@ -232,16 +223,14 @@ func CoScheduleMatrix(benches []*workload.Benchmark, cfg Config) ([]PairScore, e
 				acc += t.Accesses
 				cross += t.CrossConflicts
 			}
-			scores[ji] = PairScore{
+			return PairScore{
 				A: benches[jb.i].Name, B: benches[jb.j].Name,
 				CrossConflictRate: stats.Ratio(cross, acc),
 				CombinedMissRate:  stats.Ratio(miss, acc),
-			}
-		}(ji, jb)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(scores, func(i, j int) bool {
 		return scores[i].CrossConflictRate < scores[j].CrossConflictRate

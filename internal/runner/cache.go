@@ -1,0 +1,200 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheSchema versions the on-disk entry format itself. Bump it when the
+// envelope or key derivation changes; every old entry then misses cleanly.
+const cacheSchema = 1
+
+// DefaultCacheDir is where cmd/paperbench memoizes experiment results,
+// relative to the working directory.
+const DefaultCacheDir = "results/cache"
+
+// Cache is an on-disk memoization store for experiment results. Entries
+// are JSON files named by the hex key, written atomically (temp file +
+// rename) so a crashed or concurrent run never leaves a torn entry. A nil
+// *Cache is valid and always misses — the -nocache escape hatch.
+type Cache struct {
+	dir     string
+	mkdir   sync.Once
+	mkdirOK bool
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Open returns a Cache rooted at dir. The directory is created lazily on
+// the first store, so read-only usage never touches the filesystem.
+func Open(dir string) *Cache { return &Cache{dir: dir} }
+
+// Stats returns the cache's hit/miss counts for this process.
+func (c *Cache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Key derives the stable cache key for an experiment cell: a SHA-256 over
+// the cache schema, the code version, the experiment slug, and the
+// canonical JSON encoding of payload (the experiment's Params — scale,
+// seed, everything that changes the result). encoding/json writes struct
+// fields in declaration order and map keys sorted, so the encoding — and
+// therefore the key — is deterministic across runs. DESIGN.md documents
+// the scheme.
+func Key(slug string, payload any) (string, error) {
+	enc, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("runner: encoding cache key payload for %q: %w", slug, err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%d\x00code=%s\x00slug=%s\x00", cacheSchema, CodeVersion(), slug)
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// codeVersion is resolved once from build info: the VCS revision (plus a
+// dirty marker) when Go stamped one, else "unversioned". Results computed
+// by different code versions therefore never collide; an unversioned
+// build reuses entries across rebuilds, which -nocache overrides.
+var codeVersionOnce = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unversioned"
+	}
+	rev, modified := "", ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unversioned"
+	}
+	return rev + modified
+})
+
+// CodeVersion returns the code-version component of cache keys.
+func CodeVersion() string { return codeVersionOnce() }
+
+// entry is the on-disk envelope around a cached result.
+type entry struct {
+	Schema int             `json:"schema"`
+	Slug   string          `json:"slug"`
+	Result json.RawMessage `json:"result"`
+}
+
+// path maps a key to its file.
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// load reads a raw cached result; ok is false on miss or any corruption
+// (corrupt entries are treated as absent, never fatal).
+func (c *Cache) load(slug, key string) (json.RawMessage, bool) {
+	if c == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if json.Unmarshal(data, &e) != nil || e.Schema != cacheSchema || e.Slug != slug {
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// store writes a result atomically. Store failures are returned so the
+// caller can warn, but callers treat them as non-fatal: the computation
+// already succeeded.
+func (c *Cache) store(slug, key string, result json.RawMessage) error {
+	if c == nil {
+		return nil
+	}
+	c.mkdir.Do(func() { c.mkdirOK = os.MkdirAll(c.dir, 0o755) == nil })
+	if !c.mkdirOK {
+		return fmt.Errorf("runner: cannot create cache dir %s", c.dir)
+	}
+	data, err := json.Marshal(entry{Schema: cacheSchema, Slug: slug, Result: result})
+	if err != nil {
+		return fmt.Errorf("runner: encoding cache entry %s: %w", slug, err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runner: cache temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: writing cache entry %s: %w", slug, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: closing cache entry %s: %w", slug, err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: committing cache entry %s: %w", slug, err)
+	}
+	return nil
+}
+
+// Memo returns the cached result for (slug, payload) if present, else runs
+// compute, stores its result, and returns it. hit reports whether the
+// value came from disk.
+//
+// The returned value is ALWAYS the JSON round-trip of the computed one —
+// even on a cache miss — so a run that populates the cache and a run that
+// hits it produce bit-identical output. A result type that loses
+// information through JSON (an unexported field, say) therefore shows up
+// immediately in golden tests instead of only on the second invocation.
+func Memo[T any](c *Cache, slug string, payload any, compute func() (T, error)) (v T, hit bool, err error) {
+	key, err := Key(slug, payload)
+	if err != nil {
+		return v, false, err
+	}
+	if raw, ok := c.load(slug, key); ok {
+		if json.Unmarshal(raw, &v) == nil {
+			if c != nil {
+				c.hits.Add(1)
+			}
+			return v, true, nil
+		}
+		// Undecodable result (type changed without a code-version bump):
+		// fall through and recompute.
+	}
+	if c != nil {
+		c.misses.Add(1)
+	}
+	computed, err := compute()
+	if err != nil {
+		return v, false, err
+	}
+	raw, err := json.Marshal(computed)
+	if err != nil {
+		return v, false, fmt.Errorf("runner: encoding result %s: %w", slug, err)
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, false, fmt.Errorf("runner: round-tripping result %s: %w", slug, err)
+	}
+	if err := c.store(slug, key, raw); err != nil {
+		// Non-fatal: the result is correct, only the memoization is lost.
+		return v, false, nil
+	}
+	return v, false, nil
+}

@@ -1,0 +1,179 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type fakeParams struct {
+	MemAccesses  uint64
+	Instructions uint64
+	Seed         uint64
+}
+
+type fakeResult struct {
+	Name   string
+	Values []float64
+}
+
+func TestKeyStableAndSensitive(t *testing.T) {
+	p := fakeParams{MemAccesses: 1000, Instructions: 2000, Seed: 42}
+	k1, err := Key("fig1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key("fig1", p)
+	if k1 != k2 {
+		t.Fatal("key must be deterministic for equal inputs")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key should be sha256 hex, got %d chars", len(k1))
+	}
+	// Any component change must change the key.
+	if k, _ := Key("fig2", p); k == k1 {
+		t.Fatal("slug must be part of the key")
+	}
+	p2 := p
+	p2.Seed = 43
+	if k, _ := Key("fig1", p2); k == k1 {
+		t.Fatal("seed must be part of the key")
+	}
+	p3 := p
+	p3.MemAccesses = 1001
+	if k, _ := Key("fig1", p3); k == k1 {
+		t.Fatal("scale must be part of the key")
+	}
+}
+
+func TestMemoHitMissRoundTrip(t *testing.T) {
+	c := Open(t.TempDir())
+	p := fakeParams{MemAccesses: 10, Seed: 1}
+	calls := 0
+	compute := func() (fakeResult, error) {
+		calls++
+		return fakeResult{Name: "gcc", Values: []float64{1.5, 2.25}}, nil
+	}
+
+	v1, hit, err := Memo(c, "fig1", p, compute)
+	if err != nil || hit {
+		t.Fatalf("first call: hit=%v err=%v", hit, err)
+	}
+	v2, hit, err := Memo(c, "fig1", p, compute)
+	if err != nil || !hit {
+		t.Fatalf("second call: hit=%v err=%v", hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	a, _ := json.Marshal(v1)
+	b, _ := json.Marshal(v2)
+	if string(a) != string(b) {
+		t.Fatalf("cached result differs: %s vs %s", a, b)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses", hits, misses)
+	}
+}
+
+func TestMemoDistinctParamsDistinctCells(t *testing.T) {
+	c := Open(t.TempDir())
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		v, hit, err := Memo(c, "cell", fakeParams{Seed: seed}, func() (uint64, error) { return seed * 100, nil })
+		if err != nil || hit {
+			t.Fatalf("seed %d: hit=%v err=%v", seed, hit, err)
+		}
+		if v != seed*100 {
+			t.Fatalf("seed %d: v=%d", seed, v)
+		}
+	}
+	// Re-read all three: every one must hit with its own value.
+	for _, seed := range []uint64{1, 2, 3} {
+		v, hit, err := Memo(c, "cell", fakeParams{Seed: seed}, func() (uint64, error) { return 0, nil })
+		if err != nil || !hit || v != seed*100 {
+			t.Fatalf("seed %d reread: v=%d hit=%v err=%v", seed, v, hit, err)
+		}
+	}
+}
+
+func TestMemoNilCacheAlwaysComputes(t *testing.T) {
+	var c *Cache
+	calls := 0
+	for i := 0; i < 2; i++ {
+		v, hit, err := Memo(c, "x", 1, func() (int, error) { calls++; return 7, nil })
+		if err != nil || hit || v != 7 {
+			t.Fatalf("nil cache: v=%d hit=%v err=%v", v, hit, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("nil cache must always compute, ran %d", calls)
+	}
+}
+
+func TestMemoCorruptEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	c := Open(dir)
+	p := fakeParams{Seed: 9}
+	if _, _, err := Memo(c, "x", p, func() (int, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every entry on disk.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("{garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, hit, err := Memo(Open(dir), "x", p, func() (int, error) { return 5, nil })
+	if err != nil || hit || v != 5 {
+		t.Fatalf("corrupt entry: v=%d hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestMemoSlugMismatchMisses(t *testing.T) {
+	// Paranoia check: even if two slugs somehow produced one key, the
+	// envelope's slug field guards the entry. Simulate by writing an entry
+	// under slug A's key with slug B inside.
+	dir := t.TempDir()
+	c := Open(dir)
+	key, err := Key("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := json.Marshal(entry{Schema: cacheSchema, Slug: "b", Result: json.RawMessage("3")})
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.load("a", key); ok {
+		t.Fatal("entry with mismatched slug must miss")
+	}
+}
+
+func TestMemoRoundTripsEvenOnMiss(t *testing.T) {
+	// The returned value is the JSON round-trip of the computed one, so
+	// miss-path and hit-path output are bit-identical. A type with an
+	// unexported field demonstrates: the field vanishes on BOTH paths.
+	type leaky struct {
+		Public int
+		secret int
+	}
+	c := Open(t.TempDir())
+	v, _, err := Memo(c, "leak", 1, func() (leaky, error) { return leaky{Public: 3, secret: 8}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.secret != 0 || v.Public != 3 {
+		t.Fatalf("miss path must return the round-tripped value, got %+v", v)
+	}
+}
+
+func TestCodeVersionNonEmpty(t *testing.T) {
+	if CodeVersion() == "" {
+		t.Fatal("code version must never be empty")
+	}
+}

@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Reporter receives per-task lifecycle events from the pool. Implementations
+// must be safe for concurrent use; the pool calls them from worker
+// goroutines.
+type Reporter interface {
+	// TaskDone fires when a task finishes (successfully or not) with its
+	// label, wall-clock duration, and error (nil on success).
+	TaskDone(label string, d time.Duration, err error)
+}
+
+// reporter holds the process-wide Reporter. Atomic so -progress can be
+// toggled without racing the pool.
+var reporter atomic.Pointer[Reporter]
+
+// SetReporter installs r as the process-wide progress sink (nil disables
+// reporting). cmd/paperbench installs a WriterReporter for -progress.
+func SetReporter(r Reporter) {
+	if r == nil {
+		reporter.Store(nil)
+		return
+	}
+	reporter.Store(&r)
+}
+
+// Counters is a snapshot of the pool's lifetime accounting.
+type Counters struct {
+	// Started and Done count tasks handed to workers and tasks finished.
+	Started uint64
+	Done    uint64
+	// Failed counts tasks that returned an error; Panicked counts the
+	// subset recovered from a panic.
+	Failed   uint64
+	Panicked uint64
+	// Busy is the summed wall-clock time spent inside task bodies.
+	Busy time.Duration
+}
+
+var (
+	ctrStarted  atomic.Uint64
+	ctrDone     atomic.Uint64
+	ctrFailed   atomic.Uint64
+	ctrPanicked atomic.Uint64
+	ctrBusyNS   atomic.Int64
+)
+
+// Snapshot returns the pool's counters since process start (or the last
+// ResetCounters).
+func Snapshot() Counters {
+	return Counters{
+		Started:  ctrStarted.Load(),
+		Done:     ctrDone.Load(),
+		Failed:   ctrFailed.Load(),
+		Panicked: ctrPanicked.Load(),
+		Busy:     time.Duration(ctrBusyNS.Load()),
+	}
+}
+
+// ResetCounters zeroes the pool counters (tests and per-invocation
+// accounting).
+func ResetCounters() {
+	ctrStarted.Store(0)
+	ctrDone.Store(0)
+	ctrFailed.Store(0)
+	ctrPanicked.Store(0)
+	ctrBusyNS.Store(0)
+}
+
+// taskStarted records a task start and returns the completion hook the
+// worker calls with the task's final error.
+func taskStarted(label string) func(err error) {
+	ctrStarted.Add(1)
+	start := time.Now()
+	return func(err error) {
+		d := time.Since(start)
+		ctrDone.Add(1)
+		ctrBusyNS.Add(int64(d))
+		if err != nil {
+			ctrFailed.Add(1)
+			if _, ok := err.(*PanicError); ok {
+				ctrPanicked.Add(1)
+			}
+		}
+		if p := reporter.Load(); p != nil {
+			(*p).TaskDone(label, d, err)
+		}
+	}
+}
+
+// WriterReporter streams one line per finished task to w, serialized by a
+// mutex so concurrent workers do not interleave partial lines.
+type WriterReporter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterReporter builds a WriterReporter over w.
+func NewWriterReporter(w io.Writer) *WriterReporter { return &WriterReporter{w: w} }
+
+// TaskDone implements Reporter.
+func (r *WriterReporter) TaskDone(label string, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	done := ctrDone.Load()
+	started := ctrStarted.Load()
+	if label == "" {
+		label = "(task)"
+	}
+	if err != nil {
+		fmt.Fprintf(r.w, "[%d/%d] %s FAILED after %.2fs: %v\n", done, started, label, d.Seconds(), err)
+		return
+	}
+	fmt.Fprintf(r.w, "[%d/%d] %s %.2fs\n", done, started, label, d.Seconds())
+}

@@ -1,0 +1,215 @@
+// Package runner is the experiment execution engine: a bounded worker
+// pool with deterministic result ordering, panic isolation, context
+// cancellation, and an on-disk memoization cache (cache.go) keyed by
+// experiment parameters. Every parameter sweep in internal/experiments
+// and internal/sim fans out through Map, which replaces the hand-rolled
+// sync.WaitGroup + semaphore pattern the experiments grew up with.
+//
+// Determinism is the design center: results are merged by task index, not
+// completion order, so a sweep produces byte-identical tables whether it
+// runs on one worker or sixteen (see experiments/determinism_test.go).
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Task is one unit of experiment work: a labelled closure computing a
+// result. The label is only used for progress reporting and error
+// messages; Run does the work and may be executed on any worker.
+type Task[T any] struct {
+	Label string
+	Run   func(ctx context.Context) (T, error)
+}
+
+// NewTask builds a Task from a label and a function.
+func NewTask[T any](label string, run func(ctx context.Context) (T, error)) Task[T] {
+	return Task[T]{Label: label, Run: run}
+}
+
+// PanicError is a recovered panic from a task, carrying the panic value
+// and the goroutine stack at the point of the panic. The pool converts
+// panics to errors so one exploding benchmark cannot take down a whole
+// sweep uncontrolled.
+type PanicError struct {
+	Label string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("runner: task %q panicked: %v", p.Label, p.Value)
+}
+
+// TaskError wraps a non-panic task failure with its label and index.
+type TaskError struct {
+	Label string
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("runner: task %d (%s): %v", e.Index, e.Label, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// Option configures one Map call.
+type Option func(*config)
+
+type config struct {
+	workers int
+}
+
+// Workers caps the pool at n concurrent tasks instead of GOMAXPROCS.
+func Workers(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// Map executes every task on a bounded worker pool and returns the
+// results in task order, regardless of completion order. The pool size
+// defaults to GOMAXPROCS (the hardware parallelism Go was granted), so
+// sweeps saturate the machine without oversubscribing it.
+//
+// Error handling is deterministic: if any tasks fail, Map cancels the
+// remaining unstarted tasks and returns the error of the failed task
+// with the lowest index — the same error no matter how the scheduler
+// interleaved the workers. Panics inside tasks are recovered into
+// *PanicError; other failures are wrapped in *TaskError. The returned
+// slice always has len(tasks) entries; entries whose task failed or was
+// cancelled hold the zero value.
+func Map[T any](ctx context.Context, tasks []Task[T], opts ...Option) ([]T, error) {
+	cfg := config{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := len(tasks)
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	workers := cfg.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = runOne(ctx, tasks[i], &out[i])
+				if errs[i] != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+	// Feed indices in order; stop feeding once cancelled so a failure
+	// (or caller cancellation) skips the tail instead of running it.
+	// Because the channel is unbuffered, an index is fed only when a
+	// worker receives it — so when task k fails, every index below k has
+	// already been received and WILL run to completion (workers never
+	// abandon a received task). That makes the lowest-index error below
+	// deterministic even when several tasks fail.
+feed:
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			for j := i; j < n; j++ {
+				errs[j] = err
+			}
+			break
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	// Deterministic error selection: the lowest-index real failure wins;
+	// bare cancellations only surface if nothing concrete failed first.
+	var firstCancel error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return out, &TaskError{Label: tasks[i].Label, Index: i, Err: err}
+	}
+	return out, firstCancel
+}
+
+// runOne executes a single task with panic recovery and progress
+// accounting.
+func runOne[T any](ctx context.Context, t Task[T], out *T) (err error) {
+	stop := taskStarted(t.Label)
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Label: t.Label, Value: r, Stack: debug.Stack()}
+		}
+		stop(err)
+	}()
+	v, err := t.Run(ctx)
+	if err != nil {
+		return err
+	}
+	*out = v
+	return nil
+}
+
+// MustMap is Map for call sites with no error path of their own (the
+// experiment functions, whose signatures predate the runner): it panics
+// on error with the failed task's label attached.
+func MustMap[T any](ctx context.Context, tasks []Task[T], opts ...Option) []T {
+	out, err := Map(ctx, tasks, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// MapN runs f for every index in [0, n) — the common "sweep a slice"
+// shape. label derives the progress label from the index.
+func MapN[T any](ctx context.Context, n int, label func(i int) string, f func(ctx context.Context, i int) (T, error), opts ...Option) ([]T, error) {
+	tasks := make([]Task[T], n)
+	for i := 0; i < n; i++ {
+		i := i
+		name := ""
+		if label != nil {
+			name = label(i)
+		}
+		tasks[i] = Task[T]{Label: name, Run: func(ctx context.Context) (T, error) { return f(ctx, i) }}
+	}
+	return Map(ctx, tasks, opts...)
+}

@@ -1,0 +1,220 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func intTasks(n int, f func(i int) (int, error)) []Task[int] {
+	tasks := make([]Task[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = Task[int]{Label: fmt.Sprintf("t%d", i), Run: func(context.Context) (int, error) { return f(i) }}
+	}
+	return tasks
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	// Reverse-staggered sleeps force completion order to oppose task
+	// order; results must still come back in task order.
+	tasks := make([]Task[int], 16)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{Run: func(context.Context) (int, error) {
+			time.Sleep(time.Duration(len(tasks)-i) * time.Millisecond)
+			return i * i, nil
+		}}
+	}
+	out, err := Map(context.Background(), tasks, Workers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapSameResultsAnyWorkerCount(t *testing.T) {
+	compute := func(workers int) []int {
+		out, err := Map(context.Background(), intTasks(40, func(i int) (int, error) { return 3 * i, nil }), Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	one := compute(1)
+	for _, w := range []int{2, 4, 16} {
+		got := compute(w)
+		for i := range one {
+			if got[i] != one[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], one[i])
+			}
+		}
+	}
+}
+
+func TestMapPanicIsolation(t *testing.T) {
+	tasks := intTasks(10, func(i int) (int, error) {
+		if i == 4 {
+			panic("benchmark exploded")
+		}
+		return i, nil
+	})
+	_, err := Map(context.Background(), tasks, Workers(2))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Value != "benchmark exploded" || pe.Label != "t4" {
+		t.Fatalf("unexpected panic payload: %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error should carry a stack")
+	}
+}
+
+func TestMapDeterministicFirstError(t *testing.T) {
+	// Two failing tasks: the lowest-index failure must win no matter how
+	// workers interleave.
+	for trial := 0; trial < 20; trial++ {
+		tasks := intTasks(12, func(i int) (int, error) {
+			if i == 3 || i == 9 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		_, err := Map(context.Background(), tasks, Workers(4))
+		var te *TaskError
+		if !errors.As(err, &te) {
+			t.Fatalf("want *TaskError, got %v", err)
+		}
+		if te.Index != 3 {
+			t.Fatalf("trial %d: first error index = %d, want 3", trial, te.Index)
+		}
+	}
+}
+
+func TestMapErrorCancelsTail(t *testing.T) {
+	var ran atomic.Int64
+	tasks := intTasks(64, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early failure")
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	_, err := Map(context.Background(), tasks, Workers(1))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n == 64 {
+		t.Fatal("failure should have cancelled unstarted tasks")
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Map(ctx, intTasks(8, func(i int) (int, error) { return i, nil }), Workers(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("result slice must keep its shape, got len %d", len(out))
+	}
+}
+
+func TestMapEmptyAndDefaults(t *testing.T) {
+	out, err := Map(context.Background(), []Task[int]{}, Workers(0))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+	// Default worker count follows GOMAXPROCS.
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	if _, err := Map(context.Background(), intTasks(5, func(i int) (int, error) { return i, nil })); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapNLabels(t *testing.T) {
+	out, err := MapN(context.Background(), 6, func(i int) string { return fmt.Sprintf("cell-%d", i) },
+		func(_ context.Context, i int) (string, error) { return strings.Repeat("x", i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[3] != "xxx" {
+		t.Fatalf("out[3] = %q", out[3])
+	}
+}
+
+func TestMustMapPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMap must panic on task error")
+		}
+	}()
+	MustMap(context.Background(), intTasks(3, func(i int) (int, error) { return 0, errors.New("nope") }))
+}
+
+type recordingReporter struct {
+	mu    chan struct{}
+	lines []string
+}
+
+func (r *recordingReporter) TaskDone(label string, d time.Duration, err error) {
+	r.mu <- struct{}{}
+	r.lines = append(r.lines, label)
+	<-r.mu
+}
+
+func TestCountersAndReporter(t *testing.T) {
+	ResetCounters()
+	rep := &recordingReporter{mu: make(chan struct{}, 1)}
+	SetReporter(rep)
+	defer SetReporter(nil)
+
+	tasks := intTasks(5, func(i int) (int, error) {
+		if i == 2 {
+			panic("pop")
+		}
+		return i, nil
+	})
+	_, err := Map(context.Background(), tasks, Workers(1))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	s := Snapshot()
+	if s.Started == 0 || s.Done != s.Started {
+		t.Fatalf("counters inconsistent: %+v", s)
+	}
+	if s.Failed == 0 || s.Panicked != 1 {
+		t.Fatalf("failure accounting wrong: %+v", s)
+	}
+	if len(rep.lines) == 0 {
+		t.Fatal("reporter saw no tasks")
+	}
+}
+
+func TestWriterReporterFormat(t *testing.T) {
+	var sb strings.Builder
+	r := NewWriterReporter(&sb)
+	r.TaskDone("fig1/gcc", 1500*time.Millisecond, nil)
+	r.TaskDone("", 10*time.Millisecond, errors.New("kaput"))
+	out := sb.String()
+	if !strings.Contains(out, "fig1/gcc 1.50s") {
+		t.Fatalf("missing success line: %q", out)
+	}
+	if !strings.Contains(out, "(task) FAILED") || !strings.Contains(out, "kaput") {
+		t.Fatalf("missing failure line: %q", out)
+	}
+}

@@ -4,12 +4,14 @@
 package sim
 
 import (
-	"sync"
+	"context"
+	"fmt"
 
 	"repro/internal/assist"
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/hier"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -99,31 +101,36 @@ func Run(b *workload.Benchmark, sys assist.System, opt Options) Result {
 // let a sweep instantiate the same policy independently per benchmark.
 type SystemFactory func() assist.System
 
-// Sweep runs every benchmark against every system factory concurrently and
-// returns results indexed [benchmark][system] in the given orders. Each
-// run is independent and deterministic, so parallelism does not perturb
-// results.
+// Sweep runs every benchmark against every system factory on the shared
+// runner pool and returns results indexed [benchmark][system] in the given
+// orders. Each run is independent and deterministic, and the runner merges
+// by task index, so parallelism does not perturb results. A panic in any
+// single run (a misconfigured system, say) is isolated by the pool and
+// re-raised here with the offending benchmark×system cell named.
 func Sweep(benches []*workload.Benchmark, systems []SystemFactory, opt Options) [][]Result {
 	opt = opt.withDefaults()
+	ns := len(systems)
+	flat := runner.MustMap(context.Background(), sweepTasks(benches, systems, opt))
 	out := make([][]Result, len(benches))
-	for i := range out {
-		out[i] = make([]Result, len(systems))
+	for bi := range out {
+		out[bi] = flat[bi*ns : (bi+1)*ns : (bi+1)*ns]
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for bi, b := range benches {
+	return out
+}
+
+// sweepTasks flattens the benchmark×system grid row-major into pool tasks.
+func sweepTasks(benches []*workload.Benchmark, systems []SystemFactory, opt Options) []runner.Task[Result] {
+	tasks := make([]runner.Task[Result], 0, len(benches)*len(systems))
+	for _, b := range benches {
+		b := b
 		for si, f := range systems {
-			wg.Add(1)
-			go func(bi, si int, b *workload.Benchmark, f SystemFactory) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				out[bi][si] = Run(b, f(), opt)
-			}(bi, si, b, f)
+			f := f
+			tasks = append(tasks, runner.NewTask(
+				fmt.Sprintf("sim/%s/sys%d", b.Name, si),
+				func(context.Context) (Result, error) { return Run(b, f(), opt), nil }))
 		}
 	}
-	wg.Wait()
-	return out
+	return tasks
 }
 
 // ReplayMem replays only the memory references of a benchmark through a

@@ -23,6 +23,7 @@ import (
 const (
 	traceMagic   = "MCTR"
 	traceVersion = 1
+	headerSize   = 16
 	recordSize   = 8 + 8 + 5
 )
 
@@ -129,8 +130,15 @@ func (r *Reader) Next(out *Instr) bool {
 	var rec [recordSize]byte
 	_, err := io.ReadFull(r.r, rec[:])
 	if err != nil {
-		if !errors.Is(err, io.EOF) {
+		switch {
+		case !errors.Is(err, io.EOF):
+			// Includes io.ErrUnexpectedEOF: a partial trailing record.
 			r.err = fmt.Errorf("trace: reading record %d: %w", r.read, err)
+		case r.declared != 0:
+			// Clean EOF, but the header promised more records: the trace
+			// was truncated on a record boundary. Silently returning the
+			// prefix would corrupt replay-based measurements.
+			r.err = fmt.Errorf("trace: truncated: header declared %d records, got %d", r.declared, r.read)
 		}
 		return false
 	}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// validTrace encodes n synthetic instructions with the given declared
+// header count, returning the raw bytes.
+func validTrace(t testing.TB, declared uint64, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		in := Instr{
+			PC:   mem.Addr(0x1000 + 4*i),
+			Addr: mem.Addr(0x8000 + 64*i),
+			Op:   OpClass(i % 4),
+			Dest: byte(i), Src1: byte(i + 1), Src2: byte(i + 2),
+			Taken: i%3 == 0,
+		}
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadTrace hammers the binary trace decoder with arbitrary bytes:
+// malformed headers must be rejected by NewReader, truncated or trailing
+// partial records must surface through Err, and no input may ever panic
+// or let the reader mislabel a short trace as complete. When the input is
+// well-formed, the decode must agree exactly with the format spec.
+func FuzzReadTrace(f *testing.F) {
+	// Seed corpus: valid traces (counted and uncounted), an empty trace,
+	// truncations on and off record boundaries, bad magic/version, a
+	// header promising more than the body delivers, and a huge count.
+	f.Add([]byte{})
+	f.Add(validTrace(f, 0, 0))
+	f.Add(validTrace(f, 0, 3))
+	f.Add(validTrace(f, 3, 3))
+	f.Add(validTrace(f, 5, 2))                       // declared > actual: truncated
+	full := validTrace(f, 0, 4)
+	f.Add(full[:len(full)-7])                        // partial trailing record
+	f.Add(full[:headerSize+recordSize])              // exactly one record
+	f.Add(full[:headerSize-2])                       // truncated header
+	bad := append([]byte(nil), full...)
+	copy(bad[:4], "XXXX")
+	f.Add(bad)                                       // bad magic
+	badv := append([]byte(nil), full...)
+	badv[4] = 99
+	f.Add(badv)                                      // bad version
+	huge := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint64(huge[8:], 1<<60)
+	f.Add(huge)                                      // absurd declared count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			// Header rejected: fine, as long as it did not panic.
+			return
+		}
+		body := len(data) - headerSize
+		wantFull := body / recordSize // records actually present
+		declared := r.Declared()
+
+		var in Instr
+		got := 0
+		for r.Next(&in) {
+			got++
+			if got > wantFull {
+				t.Fatalf("decoded %d records from a body holding %d", got, wantFull)
+			}
+		}
+		if r.Next(&in) {
+			t.Fatal("Next must keep returning false after exhaustion")
+		}
+
+		switch {
+		case declared == 0:
+			if got != wantFull {
+				t.Fatalf("uncounted trace: decoded %d of %d records", got, wantFull)
+			}
+			if body%recordSize != 0 && r.Err() == nil {
+				t.Fatal("partial trailing record must surface through Err")
+			}
+			if body%recordSize == 0 && r.Err() != nil {
+				t.Fatalf("clean uncounted trace errored: %v", r.Err())
+			}
+		case uint64(wantFull) >= declared:
+			// Body holds at least the promised records: exactly declared
+			// decode, cleanly.
+			if uint64(got) != declared {
+				t.Fatalf("counted trace: decoded %d, declared %d", got, declared)
+			}
+			if r.Err() != nil {
+				t.Fatalf("complete counted trace errored: %v", r.Err())
+			}
+		default:
+			// Truncated below the declared count: never silent.
+			if r.Err() == nil {
+				t.Fatalf("truncated counted trace (%d of %d) must error", got, declared)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip encodes fuzz-chosen instruction fields and requires the
+// decode to reproduce them bit-for-bit — the write side and read side of
+// binio.go must agree on the record layout forever.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), uint64(0x8000), byte(1), byte(2), byte(3), byte(4), true, uint8(5))
+	f.Add(^uint64(0), ^uint64(0), byte(255), byte(0), byte(7), byte(9), false, uint8(1))
+	f.Fuzz(func(t *testing.T, pc, addr uint64, op, dest, src1, src2 byte, taken bool, reps uint8) {
+		n := int(reps%8) + 1
+		want := make([]Instr, n)
+		for i := range want {
+			want[i] = Instr{
+				PC:   mem.Addr(pc + uint64(i)),
+				Addr: mem.Addr(addr ^ uint64(i)<<6),
+				Op:   OpClass(op),
+				Dest: dest, Src1: src1, Src2: src2,
+				Taken: taken != (i%2 == 1),
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range want {
+			if err := w.Write(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var in Instr
+		for i := range want {
+			if !r.Next(&in) {
+				t.Fatalf("record %d missing: %v", i, r.Err())
+			}
+			if in != want[i] {
+				t.Fatalf("record %d = %+v, want %+v", i, in, want[i])
+			}
+		}
+		if r.Next(&in) {
+			t.Fatal("extra record decoded")
+		}
+		if r.Err() != nil {
+			t.Fatal(r.Err())
+		}
+	})
+}
