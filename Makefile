@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race ci fuzz clean-cache
+.PHONY: build vet test race ci bench bench-smoke fuzz clean-cache
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet race
+ci: vet race bench-smoke
+
+# Full hot-path benchmark sweep: the Go benchmarks for each package plus
+# the paperbench -bench report (BENCH_pr2.json). Use this for recorded
+# numbers; bench-smoke is the fast CI variant.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/cache ./internal/classify
+	$(GO) run ./cmd/paperbench -bench
+
+# CI smoke: compile and execute every benchmark for one iteration so a
+# benchmark that panics or allocates unboundedly fails the gate without
+# paying full measurement time (the allocation *numbers* are pinned by
+# the AllocsPerRun regression tests under `make race`).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Short fuzz passes over the binary trace decoder; CI runs the seed
 # corpus via `make test`, this target digs deeper locally.

@@ -7,6 +7,8 @@
 //	paperbench [-experiment all|fig1|fig2|fig3|table1|fig4|fig5|pseudo|fig6|fig7]
 //	           [-instructions N] [-accesses N] [-seed N] [-quick]
 //	           [-progress] [-nocache] [-cachedir DIR]
+//	           [-bench] [-benchout FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default scale (see internal/experiments.Default) is sized to finish
 // in minutes on a laptop while giving stable statistics; -quick shrinks it
@@ -19,6 +21,17 @@
 // bypasses the cache entirely; deleting the directory invalidates it.
 // All diagnostics (timings, progress, cache hits) go to stderr; stdout
 // carries only the tables, byte-identical between cold and cached runs.
+//
+// -bench switches to the performance harness: instead of regenerating the
+// paper's artifacts it benchmarks the simulation hot paths (cache access,
+// oracle observe, fully-associative reference, workload generation,
+// end-to-end instructions/second) and writes the machine-readable report
+// to -benchout (default BENCH_pr2.json; see DESIGN.md for the schema) so
+// the repo accumulates a performance trajectory PR over PR.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the whole run —
+// started through internal/runner before any worker-pool fan-out, so the
+// profile captures the experiment workers, not just main.
 package main
 
 import (
@@ -31,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/perf"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -55,9 +69,53 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		progress = fs.Bool("progress", false, "stream per-job progress and timing to stderr")
 		nocache  = fs.Bool("nocache", false, "recompute everything, ignoring the on-disk result cache")
 		cacheDir = fs.String("cachedir", runner.DefaultCacheDir, "on-disk result cache directory")
+		bench    = fs.Bool("bench", false, "benchmark the simulation hot paths and write -benchout instead of running experiments")
+		benchOut = fs.String("benchout", "BENCH_pr2.json", "machine-readable benchmark report path (with -bench)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile covering the whole run (worker pool included)")
+		memProf  = fs.String("memprofile", "", "write a heap profile at the end of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Profiles bracket everything below — experiment fan-outs and the
+	// bench harness both run inside them.
+	if *cpuProf != "" {
+		stop, err := runner.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(stderr, "paperbench:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(stderr, "paperbench:", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := runner.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(stderr, "paperbench:", err)
+			}
+		}()
+	}
+
+	if *bench {
+		start := time.Now()
+		report := perf.NewReport(perf.Components())
+		if err := report.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintln(stderr, "paperbench:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, report.Table())
+		for _, c := range report.Components {
+			if c.Name == "sim.endtoend" {
+				fmt.Fprintf(stdout, "end-to-end: %.0f instrs/sec (%.1f ns/instr)\n",
+					c.Metrics["instrs_per_sec"], c.Metrics["ns_per_instr"])
+			}
+		}
+		fmt.Fprintf(stderr, "(bench: report written to %s in %.1fs)\n", *benchOut, time.Since(start).Seconds())
+		return 0
 	}
 
 	p := experiments.Default()

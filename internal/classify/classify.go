@@ -21,7 +21,7 @@ import (
 	"repro/internal/mem"
 )
 
-// Kind is the oracle's verdict for a miss.
+// Kind is the oracle's verdict for an access.
 type Kind uint8
 
 const (
@@ -32,7 +32,18 @@ const (
 	Capacity
 	// Conflict misses the real cache but hits the fully-associative cache.
 	Conflict
+	// Hit marks an access that hit the real cache: no miss happened, so no
+	// miss taxonomy applies. Observe returns it so a caller that tallies
+	// verdicts unconditionally cannot silently inflate the Compulsory
+	// count (the sentinel Observe used to return for hits).
+	Hit
+
+	// numMissKinds counts the miss verdicts (Hit excluded).
+	numMissKinds = int(Hit)
 )
+
+// IsMiss reports whether the kind classifies a miss (i.e. is not Hit).
+func (k Kind) IsMiss() bool { return k != Hit }
 
 // String names the kind.
 func (k Kind) String() string {
@@ -43,12 +54,15 @@ func (k Kind) String() string {
 		return "capacity"
 	case Conflict:
 		return "conflict"
+	case Hit:
+		return "hit"
 	default:
 		return "unknown"
 	}
 }
 
-// Grouped folds the oracle verdict into the paper's two-way taxonomy.
+// Grouped folds a miss verdict into the paper's two-way taxonomy. It is
+// only meaningful for miss kinds (IsMiss); Hit has no grouping.
 func (k Kind) Grouped() core.Class {
 	if k == Conflict {
 		return core.Conflict
@@ -60,12 +74,17 @@ func (k Kind) Grouped() core.Class {
 // real cache: the set of lines ever touched and a fully-associative LRU
 // cache of equal capacity. The oracle must observe every access (hits
 // included) to keep the fully-associative recency exact.
+//
+// The touched set is a paged bitmap (mem.LineSet) rather than a hash set:
+// Observe runs once per memory access for every accuracy experiment, and
+// the bitmap answers "first touch?" with bit arithmetic instead of a map
+// insert, allocation-free at steady state.
 type Oracle struct {
 	geom    mem.Geometry
 	fa      *cache.FullyAssociative
-	touched map[mem.LineAddr]struct{}
+	touched mem.LineSet
 
-	counts [3]uint64
+	counts [numMissKinds]uint64
 }
 
 // NewOracle builds an oracle for a cache with the given configuration.
@@ -78,9 +97,8 @@ func NewOracle(cfg cache.Config) (*Oracle, error) {
 		return nil, err
 	}
 	return &Oracle{
-		geom:    geom,
-		fa:      cache.NewFullyAssociative(cfg.Size / cfg.LineSize),
-		touched: make(map[mem.LineAddr]struct{}, 1<<16),
+		geom: geom,
+		fa:   cache.NewFullyAssociative(cfg.Size / cfg.LineSize),
 	}, nil
 }
 
@@ -93,21 +111,19 @@ func MustNewOracle(cfg cache.Config) *Oracle {
 	return o
 }
 
-// Observe records one access and returns the oracle verdict the access
-// *would* have if the real cache missed. The caller decides whether the
-// real cache actually missed; the oracle itself is cache-independent given
-// the configuration. realHit must report whether the access hit the real
-// cache (the verdict is only meaningful for misses, but the
+// Observe records one access and returns the oracle's verdict: Hit when
+// the real cache hit, else the miss kind the access has under classic
+// classification. The caller decides whether the real cache actually
+// missed; the oracle itself is cache-independent given the configuration.
+// realHit must report whether the access hit the real cache (the miss
+// taxonomy is only meaningful for misses, but the touched set and the
 // fully-associative state must advance on every access either way).
 func (o *Oracle) Observe(addr mem.Addr, realHit bool) Kind {
 	line := o.geom.Line(addr)
-	_, seen := o.touched[line]
-	if !seen {
-		o.touched[line] = struct{}{}
-	}
+	seen := o.touched.TestAndSet(line)
 	faHit := o.fa.Reference(line)
 	if realHit {
-		return Compulsory // ignored by callers for hits
+		return Hit
 	}
 	var k Kind
 	switch {
@@ -141,8 +157,13 @@ type Accuracy struct {
 	CompulsoryTotal uint64 // subset of CapacityTotal that was compulsory
 }
 
-// Record adds one classified miss.
+// Record adds one classified miss. A Hit verdict is ignored: hits carry no
+// miss classification, and counting them anywhere would corrupt the
+// accuracy denominators.
 func (a *Accuracy) Record(oracle Kind, mct core.Class) {
+	if oracle == Hit {
+		return
+	}
 	if oracle == Conflict {
 		a.ConflictTotal++
 		if mct == core.Conflict {

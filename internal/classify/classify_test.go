@@ -16,8 +16,14 @@ func TestKindStringsAndGrouping(t *testing.T) {
 	if Compulsory.String() != "compulsory" || Capacity.String() != "capacity" || Conflict.String() != "conflict" {
 		t.Error("kind names wrong")
 	}
+	if Hit.String() != "hit" {
+		t.Error("hit kind should render 'hit'")
+	}
 	if Kind(9).String() != "unknown" {
 		t.Error("unknown kind should render 'unknown'")
+	}
+	if Hit.IsMiss() || !Compulsory.IsMiss() || !Capacity.IsMiss() || !Conflict.IsMiss() {
+		t.Error("IsMiss wrong")
 	}
 	// The paper groups compulsory with capacity.
 	if Compulsory.Grouped() != core.Capacity || Capacity.Grouped() != core.Capacity {
@@ -35,11 +41,41 @@ func TestOracleCompulsory(t *testing.T) {
 	}
 	// Second miss to the same line after eviction-scale history would not
 	// be compulsory; immediately it would be a hit in the real cache, so
-	// Observe is called with realHit=true and its verdict ignored.
+	// Observe is called with realHit=true and returns Hit.
 	o.Observe(0x1000, true)
 	comp, _, _ := o.Counts()
 	if comp != 1 {
 		t.Errorf("compulsory count = %d", comp)
+	}
+}
+
+// TestObserveHitReturnsHit is the regression test for the old sentinel bug:
+// Observe used to return Compulsory for real-cache hits, so a caller that
+// tallied the return value unconditionally silently inflated compulsory
+// counts. Hits must now return the distinct Hit kind and leave every miss
+// counter untouched.
+func TestObserveHitReturnsHit(t *testing.T) {
+	o := MustNewOracle(dmConfig())
+	if k := o.Observe(0x2000, false); k != Compulsory {
+		t.Fatalf("first touch = %v, want compulsory", k)
+	}
+	for i := 0; i < 5; i++ {
+		if k := o.Observe(0x2000, true); k != Hit {
+			t.Fatalf("real hit = %v, want Hit", k)
+		}
+	}
+	comp, cap_, conf := o.Counts()
+	if comp != 1 || cap_ != 0 || conf != 0 {
+		t.Errorf("counts after hits = (%d, %d, %d), want (1, 0, 0): hits must not be tallied as misses",
+			comp, cap_, conf)
+	}
+	// A caller that (incorrectly) records every verdict must not corrupt
+	// the accuracy denominators either: Record ignores Hit.
+	var a Accuracy
+	a.Record(Hit, core.Capacity)
+	a.Record(Hit, core.Conflict)
+	if a.Misses() != 0 || a.CapacityTotal != 0 || a.ConflictTotal != 0 {
+		t.Errorf("Record(Hit, ...) polluted accuracy: %+v", a)
 	}
 }
 
@@ -223,5 +259,24 @@ func TestNewRunRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := NewRun(dmConfig(), -3); err == nil {
 		t.Error("bad tag bits accepted")
+	}
+}
+
+// TestObserveSteadyStateAllocs pins the oracle hot path at zero
+// allocations per access: the LineSet bitmap and the arena-backed
+// fully-associative model must not touch the heap once warmed. A
+// regression here multiplies across every simulated instruction.
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	o := MustNewOracle(benchConfig())
+	addrs := benchAddrs(4096)
+	for _, a := range addrs {
+		o.Observe(a, false)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		o.Observe(addrs[i%len(addrs)], false)
+		i++
+	}); avg != 0 {
+		t.Fatalf("Oracle.Observe steady state allocates %v allocs/op, want 0", avg)
 	}
 }

@@ -1,0 +1,227 @@
+// Package perf is the repo's performance-trajectory harness: it measures
+// the simulation core's hot paths (cache access/fill, oracle observe,
+// fully-associative reference, workload generation, end-to-end simulation)
+// with testing.Benchmark and renders the results as a machine-readable
+// report (BENCH_*.json) so successive PRs have recorded numbers to beat.
+//
+// The components here deliberately mirror the allocation-regression tests:
+// every steady-state hot path must report 0 allocs/op, and a regression
+// shows up both as a failing test and as a nonzero column in the report.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/assist"
+	"repro/internal/cache"
+	"repro/internal/classify"
+	"repro/internal/mem"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ReportSchema versions the BENCH_*.json format.
+const ReportSchema = 1
+
+// Result is one measured component.
+type Result struct {
+	// Name identifies the component (e.g. "cache.access").
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// OpsPerSec is the inverse throughput, for headline reading.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// AllocsPerOp and BytesPerOp are the heap cost per operation; hot
+	// paths must hold these at zero.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// N is how many operations the benchmark ran.
+	N int `json:"n"`
+	// Metrics carries component-specific extras (e.g. ns_per_instr and
+	// instrs_per_sec for the end-to-end simulation component).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full performance snapshot written to BENCH_*.json.
+type Report struct {
+	Schema      int      `json:"schema"`
+	CodeVersion string   `json:"code_version"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Components  []Result `json:"components"`
+}
+
+// resultOf converts a testing.BenchmarkResult, scaling per-op numbers by
+// opsPerIter when one benchmark iteration performs several hot-path
+// operations.
+func resultOf(name string, r testing.BenchmarkResult, opsPerIter int) Result {
+	ops := int64(r.N) * int64(opsPerIter)
+	if ops == 0 {
+		ops = 1
+	}
+	ns := float64(r.T.Nanoseconds()) / float64(ops)
+	out := Result{
+		Name:        name,
+		NsPerOp:     ns,
+		AllocsPerOp: int64(r.MemAllocs) / ops,
+		BytesPerOp:  int64(r.MemBytes) / ops,
+		N:           int(ops),
+	}
+	if ns > 0 {
+		out.OpsPerSec = 1e9 / ns
+	}
+	return out
+}
+
+// benchAddrs builds a deterministic access mix: a hot line (hits), a
+// conflict ping-pong, and a cold sweep over twice the 16KB cache.
+func benchAddrs(n int) []mem.Addr {
+	addrs := make([]mem.Addr, 0, n)
+	var sweep uint64
+	for len(addrs) < n {
+		addrs = append(addrs, 0x1000, 0x20000, 0x24000,
+			mem.Addr(0x100000+(sweep%512)*64))
+		sweep++
+	}
+	return addrs[:n]
+}
+
+func l1Config() cache.Config {
+	return cache.Config{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: 1}
+}
+
+// Components runs every component benchmark and returns the results.
+// Expect a few seconds of wall time (testing.Benchmark targets ~1s per
+// component).
+func Components() []Result {
+	addrs := benchAddrs(4096)
+	var out []Result
+
+	// cache.access: the set-associative lookup, hit and miss mixed.
+	c := cache.MustNew(l1Config())
+	for _, a := range addrs {
+		if !c.Access(a, false) {
+			c.Fill(a, false, false)
+		}
+	}
+	out = append(out, resultOf("cache.access", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Access(addrs[i%len(addrs)], false)
+		}
+	}), 1))
+
+	// cache.fill: miss-path fill with eviction churn (two tags forced
+	// into one set alternately, so every fill evicts).
+	fc := cache.MustNew(l1Config())
+	out = append(out, resultOf("cache.fill", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fc.Fill(mem.Addr(0x20000+uint64(i&1)<<14), false, false)
+		}
+	}), 1))
+
+	// oracle.observe: first-touch bitmap + fully-associative reference.
+	o := classify.MustNewOracle(l1Config())
+	for _, a := range addrs {
+		o.Observe(a, false)
+	}
+	out = append(out, resultOf("oracle.observe", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Observe(addrs[i%len(addrs)], false)
+		}
+	}), 1))
+
+	// fa.reference: the fully-associative LRU cache alone, with eviction
+	// churn (working set of 512 lines over 256 capacity).
+	fa := cache.NewFullyAssociative(256)
+	out = append(out, resultOf("fa.reference", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fa.Reference(mem.LineAddr(i & 511))
+		}
+	}), 1))
+
+	// workload.stream: synthetic instruction generation (the trace
+	// producer every experiment consumes).
+	gcc, _ := workload.ByName("gcc")
+	out = append(out, resultOf("workload.stream", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		s := gcc.Stream(workload.DefaultSeed)
+		var in trace.Instr
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Next(&in)
+		}
+	}), 1))
+
+	// sim.endtoend: the full CPU + hierarchy + functional-cache stack, in
+	// instructions per second. One benchmark iteration simulates
+	// endToEndInstrs instructions.
+	const endToEndInstrs = 200_000
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim.Run(gcc, assist.MustNewBaseline(sim.L1Config(), 0),
+				sim.Options{Instructions: endToEndInstrs})
+		}
+	})
+	e2e := resultOf("sim.endtoend", r, endToEndInstrs)
+	e2e.Metrics = map[string]float64{
+		"ns_per_instr":   e2e.NsPerOp,
+		"instrs_per_sec": e2e.OpsPerSec,
+	}
+	out = append(out, e2e)
+
+	return out
+}
+
+// NewReport wraps component results with the environment stamp.
+func NewReport(components []Result) Report {
+	return Report{
+		Schema:      ReportSchema,
+		CodeVersion: runner.CodeVersion(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Components:  components,
+	}
+}
+
+// WriteJSON writes the report to path, indented for diffability.
+func (r Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: encoding report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("perf: writing report: %w", err)
+	}
+	return nil
+}
+
+// Table renders the report as a plain-text table in the house style.
+func (r Report) Table() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("Hot-path benchmarks (%s, %s/%s)", r.GoVersion, r.GOOS, r.GOARCH),
+		"component", "ns/op", "ops/sec", "allocs/op", "B/op")
+	for _, c := range r.Components {
+		t.AddRow(c.Name,
+			fmt.Sprintf("%.1f", c.NsPerOp),
+			fmt.Sprintf("%.0f", c.OpsPerSec),
+			fmt.Sprint(c.AllocsPerOp),
+			fmt.Sprint(c.BytesPerOp))
+	}
+	return t
+}

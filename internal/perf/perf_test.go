@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestResultOfScaling: per-op numbers must divide by opsPerIter when one
+// benchmark iteration performs many hot-path operations (the end-to-end
+// component simulates 200k instructions per iteration).
+func TestResultOfScaling(t *testing.T) {
+	r := testing.BenchmarkResult{N: 10, T: 10_000 * time.Nanosecond, MemAllocs: 20, MemBytes: 40}
+	got := resultOf("x", r, 100)
+	if got.N != 1000 {
+		t.Errorf("N = %d, want 1000", got.N)
+	}
+	if got.NsPerOp != 10 {
+		t.Errorf("NsPerOp = %v, want 10", got.NsPerOp)
+	}
+	if got.OpsPerSec != 1e8 {
+		t.Errorf("OpsPerSec = %v, want 1e8", got.OpsPerSec)
+	}
+	if got.AllocsPerOp != 0 || got.BytesPerOp != 0 {
+		t.Errorf("allocs/bytes per op = %d/%d, want 0/0 (20 allocs over 1000 ops)", got.AllocsPerOp, got.BytesPerOp)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := NewReport([]Result{{
+		Name: "fake", NsPerOp: 1.5, OpsPerSec: 6.6e8, N: 3,
+		Metrics: map[string]float64{"ns_per_instr": 1.5},
+	}})
+	if rep.Schema != ReportSchema || rep.CodeVersion == "" || rep.GoVersion == "" {
+		t.Fatalf("environment stamp incomplete: %+v", rep)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Error("report file must end in a newline")
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || len(back.Components) != 1 ||
+		back.Components[0].Name != "fake" ||
+		back.Components[0].Metrics["ns_per_instr"] != 1.5 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// The table renderer must not panic and must mention the component.
+	if s := rep.Table().String(); s == "" {
+		t.Error("empty table")
+	}
+}

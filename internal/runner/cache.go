@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -64,30 +65,69 @@ func Key(slug string, payload any) (string, error) {
 }
 
 // codeVersion is resolved once from build info: the VCS revision (plus a
-// dirty marker) when Go stamped one, else "unversioned". Results computed
-// by different code versions therefore never collide; an unversioned
-// build reuses entries across rebuilds, which -nocache overrides.
+// dirty marker) when Go stamped one, else "unversioned-" plus a digest of
+// the running executable itself. Results computed by different code
+// versions therefore never collide — including unversioned builds (go run,
+// test binaries, builds outside a VCS checkout), which previously all
+// shared the literal key "unversioned" and could replay stale results
+// across code changes. Only if the binary cannot even be re-read does the
+// version degrade to the bare literal, where -nocache remains the escape
+// hatch.
 var codeVersionOnce = sync.OnceValue(func() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unversioned"
-	}
-	rev, modified := "", ""
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			if s.Value == "true" {
-				modified = "+dirty"
+	bi, _ := debug.ReadBuildInfo()
+	return codeVersionFrom(bi, executableDigest)
+})
+
+// codeVersionFrom derives the code-version string from build info, falling
+// back to digest (the running binary's content hash) when no VCS revision
+// was stamped. Split from codeVersionOnce so tests can exercise every
+// fallback branch.
+func codeVersionFrom(bi *debug.BuildInfo, digest func() (string, bool)) string {
+	if bi != nil {
+		rev, modified := "", ""
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = "+dirty"
+				}
 			}
 		}
+		if rev != "" {
+			return rev + modified
+		}
 	}
-	if rev == "" {
-		return "unversioned"
+	if d, ok := digest(); ok {
+		return "unversioned-" + d
 	}
-	return rev + modified
-})
+	return "unversioned"
+}
+
+// executableDigest hashes the running binary, so two different unversioned
+// builds (different code states) get different cache keys.
+func executableDigest() (string, bool) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", false
+	}
+	return fileDigest(exe)
+}
+
+// fileDigest returns a short hex SHA-256 of the file's contents.
+func fileDigest(path string) (string, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", false
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", false
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], true
+}
 
 // CodeVersion returns the code-version component of cache keys.
 func CodeVersion() string { return codeVersionOnce() }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"testing"
 )
 
@@ -175,5 +176,79 @@ func TestMemoRoundTripsEvenOnMiss(t *testing.T) {
 func TestCodeVersionNonEmpty(t *testing.T) {
 	if CodeVersion() == "" {
 		t.Fatal("code version must never be empty")
+	}
+}
+
+func TestCodeVersionFromVCSStamp(t *testing.T) {
+	bi := &debug.BuildInfo{Settings: []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "abc123"},
+	}}
+	noDigest := func() (string, bool) { t.Fatal("digest must not run when VCS is stamped"); return "", false }
+	if got := codeVersionFrom(bi, noDigest); got != "abc123" {
+		t.Errorf("stamped clean = %q", got)
+	}
+	bi.Settings = append(bi.Settings, debug.BuildSetting{Key: "vcs.modified", Value: "true"})
+	if got := codeVersionFrom(bi, noDigest); got != "abc123+dirty" {
+		t.Errorf("stamped dirty = %q", got)
+	}
+}
+
+// TestCodeVersionUnversionedCollision is the regression test for the
+// stale-replay bug: without a VCS stamp, every build used to share the
+// literal key "unversioned", so two different code states could collide in
+// the cache and replay each other's results. The executable digest must
+// now separate them.
+func TestCodeVersionUnversionedCollision(t *testing.T) {
+	dir := t.TempDir()
+	binA := filepath.Join(dir, "a")
+	binB := filepath.Join(dir, "b")
+	if err := os.WriteFile(binA, []byte("code state A"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(binB, []byte("code state B"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	digestOf := func(path string) func() (string, bool) {
+		return func() (string, bool) { return fileDigest(path) }
+	}
+	vA := codeVersionFrom(nil, digestOf(binA))
+	vB := codeVersionFrom(nil, digestOf(binB))
+	if vA == "unversioned" || vB == "unversioned" {
+		t.Fatalf("digest fallback not used: %q / %q", vA, vB)
+	}
+	if vA == vB {
+		t.Fatalf("two different binaries share code version %q: cache entries would collide", vA)
+	}
+	// Same binary -> same version (the cache still works across runs of
+	// one build).
+	if again := codeVersionFrom(nil, digestOf(binA)); again != vA {
+		t.Errorf("same binary gave different versions: %q vs %q", vA, again)
+	}
+	// Settings present but no vcs.revision behaves like nil build info.
+	bi := &debug.BuildInfo{Settings: []debug.BuildSetting{{Key: "GOOS", Value: "linux"}}}
+	if got := codeVersionFrom(bi, digestOf(binA)); got != vA {
+		t.Errorf("unstamped build info gave %q, want %q", got, vA)
+	}
+}
+
+func TestCodeVersionLastResort(t *testing.T) {
+	failing := func() (string, bool) { return "", false }
+	if got := codeVersionFrom(nil, failing); got != "unversioned" {
+		t.Errorf("last resort = %q, want bare literal", got)
+	}
+}
+
+// TestCodeVersionRunningBinary: the live path must produce a non-colliding
+// version for this (unstamped) test binary.
+func TestCodeVersionRunningBinary(t *testing.T) {
+	v := CodeVersion()
+	if v == "" {
+		t.Fatal("empty code version")
+	}
+	if v == "unversioned" {
+		// The test binary definitely exists on disk, so the digest
+		// fallback must have produced a suffix unless the build is
+		// VCS-stamped (in which case v is the revision, not the literal).
+		t.Error("running binary resolved to the bare 'unversioned' literal; digest fallback failed")
 	}
 }

@@ -1,0 +1,52 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling helpers for the experiment driver. They live in runner rather
+// than cmd/paperbench so that profiles are started before any worker-pool
+// fan-out and cover every experiment goroutine, not just main — pprof
+// profiles are process-wide, but the wiring here guarantees the start/stop
+// bracket encloses the pool's whole lifetime and gives every command one
+// correct way to do it.
+
+// StartCPUProfile begins a CPU profile written to path and returns a stop
+// function that ends the profile and closes the file. Call stop exactly
+// once, after all experiment work (including pooled workers) has finished.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("runner: creating cpu profile %s: %w", path, err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: starting cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("runner: closing cpu profile %s: %w", path, err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeapProfile forces a GC (so the profile reflects live objects, not
+// garbage awaiting collection) and writes the heap profile to path. Call
+// it at the end of the run, after the worker pool has drained.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("runner: creating heap profile %s: %w", path, err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("runner: writing heap profile %s: %w", path, err)
+	}
+	return nil
+}

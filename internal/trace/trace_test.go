@@ -144,3 +144,75 @@ func TestOpClassProperties(t *testing.T) {
 		}
 	}
 }
+
+// TestSkipBypassesTee pins the warmup-skip contract: instructions
+// discarded by Skip are warmup, so a Tee's observer must NOT see them —
+// only instructions actually consumed afterward count. (Before the
+// Skipper fast path, Skip drove the Tee via Next and the observer fired
+// for every skipped instruction, polluting measured counters when a Tee
+// was attached before the warmup skip.)
+func TestSkipBypassesTee(t *testing.T) {
+	var seen int
+	s := NewTee(NewSliceStream(instrs(10)), func(Instr) { seen++ })
+	if got := Skip(s, 6); got != 6 {
+		t.Fatalf("Skip = %d, want 6", got)
+	}
+	if seen != 0 {
+		t.Fatalf("observer fired %d times during warmup skip, want 0", seen)
+	}
+	var in Instr
+	for s.Next(&in) {
+	}
+	if seen != 4 {
+		t.Errorf("observer saw %d measured instructions, want 4", seen)
+	}
+}
+
+// TestSkipOverLimit verifies the Skipper path charges skipped instructions
+// against the limit exactly like consuming them would.
+func TestSkipOverLimit(t *testing.T) {
+	l := NewLimit(NewSliceStream(instrs(100)), 10)
+	if got := Skip(l, 4); got != 4 {
+		t.Fatalf("Skip = %d", got)
+	}
+	var in Instr
+	n := 0
+	for l.Next(&in) {
+		n++
+	}
+	if n != 6 {
+		t.Errorf("after skipping 4 of limit 10, %d remained, want 6", n)
+	}
+	// Skipping past the limit stops at the limit.
+	l2 := NewLimit(NewSliceStream(instrs(100)), 10)
+	if got := Skip(l2, 50); got != 10 {
+		t.Errorf("Skip past limit = %d, want 10", got)
+	}
+	// Skipping past the inner stream's end exhausts the limit.
+	l3 := NewLimit(NewSliceStream(instrs(3)), 10)
+	if got := Skip(l3, 8); got != 3 {
+		t.Errorf("Skip past inner end = %d, want 3", got)
+	}
+	if l3.Next(&in) {
+		t.Error("limit over exhausted inner stream must stay exhausted")
+	}
+}
+
+// TestSkipComposition pins the documented composition caveat: a Tee nested
+// inside a non-Skipper wrapper (MemOnly) is driven through Next, so its
+// observer DOES see skipped instructions. Observers that must stay
+// measurement-clean attach outermost.
+func TestSkipComposition(t *testing.T) {
+	var inner int
+	s := NewMemOnly(NewTee(NewSliceStream(instrs(12)), func(Instr) { inner++ }))
+	Skip(s, 2) // 2 mem ops discarded, but the tee sees every instr walked
+	if inner == 0 {
+		t.Error("inner tee under MemOnly should observe Next-driven skipping (documented caveat)")
+	}
+	var outer int
+	s2 := NewTee(NewMemOnly(NewSliceStream(instrs(12))), func(Instr) { outer++ })
+	Skip(s2, 2)
+	if outer != 0 {
+		t.Errorf("outermost tee observed %d skipped instructions, want 0", outer)
+	}
+}
