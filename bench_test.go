@@ -32,7 +32,7 @@ func benchParams() experiments.Params {
 // cache configuration (suite means reported; paper: 88/86% on 16KB DM).
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure1(benchParams())
+		r := must(experiments.Figure1(benchParams()))
 		b.ReportMetric(100*r.MeanConflictAcc["16KB-DM"], "conflict_acc_16KB_DM_pct")
 		b.ReportMetric(100*r.MeanCapacityAcc["16KB-DM"], "capacity_acc_16KB_DM_pct")
 		b.ReportMetric(100*r.MeanOverallAcc["64KB-DM"], "overall_acc_64KB_DM_pct")
@@ -44,7 +44,7 @@ func BenchmarkFigure1(b *testing.B) {
 // doubles as the tag-width ablation of DESIGN.md decision 1.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure2(benchParams())
+		r := must(experiments.Figure2(benchParams()))
 		if one, ok := r.PointAt(1); ok {
 			b.ReportMetric(100*one.CapacityAcc, "capacity_acc_1bit_pct")
 		}
@@ -61,7 +61,7 @@ func BenchmarkFigure2(b *testing.B) {
 // combined filter gains ~3% over the traditional victim cache).
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure3(benchParams())
+		r := must(experiments.Figure3(benchParams()))
 		b.ReportMetric(r.MeanSpeedup(1, 0), "traditional_speedup_x")
 		b.ReportMetric(r.MeanSpeedup(2, 0), "filter_swaps_speedup_x")
 		b.ReportMetric(r.MeanSpeedup(4, 0), "filter_both_speedup_x")
@@ -73,7 +73,7 @@ func BenchmarkFigure3(b *testing.B) {
 // traffic (paper: fills 6.6->2.6, swaps 1.7->0.1).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Figure3(benchParams()).Table1()
+		rows := must(experiments.Figure3(benchParams())).Table1()
 		b.ReportMetric(rows[1].FillPct, "traditional_fills_pct")
 		b.ReportMetric(rows[3].FillPct, "filtered_fills_pct")
 		b.ReportMetric(rows[1].SwapPct, "traditional_swaps_pct")
@@ -86,7 +86,7 @@ func BenchmarkTable1(b *testing.B) {
 // (paper: ~25% prefetch-accuracy gain, little speedup change).
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure4(benchParams())
+		r := must(experiments.Figure4(benchParams()))
 		b.ReportMetric(100*r.Accuracy(1), "unfiltered_accuracy_pct")
 		b.ReportMetric(100*r.Accuracy(5), "orfilter_accuracy_pct")
 		b.ReportMetric(100*r.AccuracyGain(), "accuracy_gain_pct")
@@ -99,7 +99,7 @@ func BenchmarkFigure4(b *testing.B) {
 // capacity filter beats the Johnson-Hwu MAT on hit rate and speedup).
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure5(benchParams())
+		r := must(experiments.Figure5(benchParams()))
 		b.ReportMetric(100*r.MeanTotalHitRate(1), "mat_total_hr_pct")
 		b.ReportMetric(100*r.MeanTotalHitRate(4), "capacity_total_hr_pct")
 		b.ReportMetric(r.MeanSpeedup(1, 0), "mat_speedup_x")
@@ -112,7 +112,7 @@ func BenchmarkFigure5(b *testing.B) {
 // true 2-way cache, miss rate 10.22%->9.83%).
 func BenchmarkPseudoAssoc(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.PseudoAssoc(benchParams())
+		r := must(experiments.PseudoAssoc(benchParams()))
 		base, mct := r.MissRates()
 		b.ReportMetric(r.MCTOverBase(), "mct_over_base_x")
 		b.ReportMetric(r.MCTVsTwoWay(), "mct_vs_2way_x")
@@ -125,7 +125,7 @@ func BenchmarkPseudoAssoc(b *testing.B) {
 // the best combination roughly doubles the best single policy's gain).
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure6(benchParams())
+		r := must(experiments.Figure6(benchParams()))
 		_, s := r.BestSingleGain()
 		_, c := r.BestComboGain()
 		b.ReportMetric(s, "best_single_speedup_x")
@@ -139,7 +139,7 @@ func BenchmarkFigure6(b *testing.B) {
 // (reported for the winning VictPref configuration).
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Figure6(benchParams()).Figure7()
+		rows := must(experiments.Figure6(benchParams())).Figure7()
 		for _, row := range rows {
 			if row.System == "VictPref" {
 				b.ReportMetric(row.DCacheHR, "victpref_dcache_pct")
@@ -218,6 +218,15 @@ func BenchmarkRawSimulationThroughput(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
 }
 
+// must unwraps an experiment's (result, error) pair; the bench harness
+// installs no fault injection, so the error path is unreachable.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func maxF(a, b float64) float64 {
 	if a > b {
 		return a
@@ -239,7 +248,7 @@ func mustAMBVictPref(entries int) assist.System {
 // application: MCT-biased eviction over LRU at 4 and 8 ways.
 func BenchmarkReplacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Replacement(benchParams())
+		r := must(experiments.Replacement(benchParams()))
 		b.ReportMetric(r.MeanSpeedup(1, 0), "mct_over_lru_4way_x")
 		b.ReportMetric(r.MeanSpeedup(3, 2), "mct_over_lru_8way_x")
 	}
@@ -249,7 +258,7 @@ func BenchmarkReplacement(b *testing.B) {
 // conflict-counted remapping vs all-miss counting.
 func BenchmarkRemap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Remap(benchParams())
+		r := must(experiments.Remap(benchParams()))
 		ra, rc, ma, mc := r.RemapEfficiency()
 		b.ReportMetric(float64(ra), "remaps_allmiss")
 		b.ReportMetric(float64(rc), "remaps_conflict")
@@ -263,7 +272,7 @@ func BenchmarkRemap(b *testing.B) {
 // while capacity accuracy falls to false matches.
 func BenchmarkMCTDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.MCTDepth(benchParams())
+		r := must(experiments.MCTDepth(benchParams()))
 		if d1, ok := r.PointAt(1); ok {
 			b.ReportMetric(100*d1.OverallAcc, "overall_depth1_pct")
 		}
@@ -278,7 +287,7 @@ func BenchmarkMCTDepth(b *testing.B) {
 // AMB's gain on a 2-thread shared cache vs on solo runs.
 func BenchmarkSMT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.SMTStudy(benchParams())
+		r := must(experiments.SMTStudy(benchParams()))
 		b.ReportMetric(r.PairGain(), "amb_gain_2thread_x")
 		b.ReportMetric(r.SingleGain, "amb_gain_solo_x")
 		b.ReportMetric(100*r.MeanPairConflictShare(), "conflict_share_2t_pct")
@@ -289,7 +298,7 @@ func BenchmarkSMT(b *testing.B) {
 // and the I-side victim buffer's recovery.
 func BenchmarkICache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.ICacheStudy(benchParams())
+		r := must(experiments.ICacheStudy(benchParams()))
 		b.ReportMetric(r.ICacheCost(), "bare_over_perfect_x")
 		b.ReportMetric(r.VictimGain(), "victim_over_bare_x")
 	}
@@ -299,7 +308,7 @@ func BenchmarkICache(b *testing.B) {
 // Figure 1: worst-case accuracy over sizes x associativities.
 func BenchmarkConfigSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.ConfigSweep(benchParams())
+		r := must(experiments.ConfigSweep(benchParams()))
 		b.ReportMetric(100*r.MinOverallAcc(), "worst_overall_acc_pct")
 		if c, ok := r.CellAt(16, 1); ok {
 			b.ReportMetric(100*c.ConflictShare, "conflict_share_16KB_DM_pct")
@@ -315,7 +324,7 @@ func BenchmarkConfigSweep(b *testing.B) {
 // signal a scheduler would act on).
 func BenchmarkCoSchedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.CoSchedule(benchParams())
+		r := must(experiments.CoSchedule(benchParams()))
 		if n := len(r.Pairs); n > 0 {
 			b.ReportMetric(1000*r.Pairs[0].CrossConflictRate, "best_pair_cross_per_1k")
 			b.ReportMetric(1000*r.Pairs[n-1].CrossConflictRate, "worst_pair_cross_per_1k")

@@ -7,6 +7,8 @@
 //	paperbench [-experiment all|fig1|fig2|fig3|table1|fig4|fig5|pseudo|fig6|fig7]
 //	           [-instructions N] [-accesses N] [-seed N] [-quick]
 //	           [-progress] [-nocache] [-cachedir DIR]
+//	           [-task-timeout D] [-retries N] [-retry-backoff D] [-strict]
+//	           [-resume] [-checkpointdir DIR] [-inject SPEC]
 //	           [-bench] [-benchout FILE]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -22,6 +24,23 @@
 // All diagnostics (timings, progress, cache hits) go to stderr; stdout
 // carries only the tables, byte-identical between cold and cached runs.
 //
+// Execution is fault tolerant (DESIGN.md §7). Every experiment fan-out
+// runs under the runner's supervision layer: -task-timeout bounds each
+// task attempt, -retries re-runs attempts that failed with an error
+// marked transient (exponential backoff starting at -retry-backoff,
+// deterministic jitter — reruns are byte-identical), and partial-results
+// mode completes every sweep, printing tables for the experiments that
+// succeeded and a failure summary (task labels, indices, attempt counts)
+// to stderr for those that did not. The exit code is non-zero only when
+// every selected experiment failed, or when any failed under -strict.
+// Completed experiments are checkpointed to results/checkpoint/ (atomic
+// write-temp-then-rename, keyed by a run ID over parameters, selection,
+// and code version); a run killed mid-sweep and restarted with -resume
+// replays the checkpointed cells from the memo cache and recomputes only
+// the remainder. -inject installs a fault-injection schedule (see
+// internal/faultinject.Parse: "error:2", "hang@fig5", "panic", ...) for
+// chaos-testing that machinery against the real binary.
+//
 // -bench switches to the performance harness: instead of regenerating the
 // paper's artifacts it benchmarks the simulation hot paths (cache access,
 // oracle observe, fully-associative reference, workload generation,
@@ -35,15 +54,21 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/perf"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -69,6 +94,15 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		progress = fs.Bool("progress", false, "stream per-job progress and timing to stderr")
 		nocache  = fs.Bool("nocache", false, "recompute everything, ignoring the on-disk result cache")
 		cacheDir = fs.String("cachedir", runner.DefaultCacheDir, "on-disk result cache directory")
+
+		taskTimeout  = fs.Duration("task-timeout", 0, "per-task attempt deadline (0 = unbounded); wedged tasks are abandoned so the sweep completes")
+		retries      = fs.Int("retries", 2, "extra attempts per task for failures marked transient")
+		retryBackoff = fs.Duration("retry-backoff", runner.DefaultBackoff, "base retry backoff (exponential, deterministic jitter)")
+		strict       = fs.Bool("strict", false, "exit non-zero if ANY experiment failed (default: only if all failed)")
+		resume       = fs.Bool("resume", false, "resume an interrupted run: replay checkpointed experiments from the cache, recompute the rest")
+		ckptDir      = fs.String("checkpointdir", runner.DefaultCheckpointDir, "sweep checkpoint directory")
+		inject       = fs.String("inject", "", "fault-injection schedule for chaos testing, e.g. 'error:2' or 'hang@fig5,panic@sim' (see internal/faultinject)")
+
 		bench    = fs.Bool("bench", false, "benchmark the simulation hot paths and write -benchout instead of running experiments")
 		benchOut = fs.String("benchout", "BENCH_pr2.json", "machine-readable benchmark report path (with -bench)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile covering the whole run (worker pool included)")
@@ -132,13 +166,72 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		p.Seed = *seed
 	}
 
+	// Fault injection (chaos testing) threads through the runner's task
+	// hook, so injected faults hit the exact code paths real failures do.
+	if *inject != "" {
+		fault, err := faultinject.Parse(*inject)
+		if err != nil {
+			fmt.Fprintln(stderr, "paperbench:", err)
+			return 2
+		}
+		restore := faultinject.Install(fault)
+		defer restore()
+		fmt.Fprintf(stderr, "(faultinject: %s)\n", *inject)
+	}
+
+	// Supervision policy for every experiment fan-out in the process:
+	// partial results (a failed cell names itself in a MultiError instead
+	// of aborting the sweep), bounded retry for transient failures, and
+	// the per-task deadline when one was requested.
+	defaults := []runner.Option{
+		runner.PartialResults(),
+		runner.Retry(*retries, *retryBackoff),
+	}
+	if *taskTimeout > 0 {
+		defaults = append(defaults, runner.Deadline(*taskTimeout))
+	}
+	runner.SetDefaultOptions(defaults...)
+	defer runner.SetDefaultOptions()
+
 	var cache *runner.Cache // nil = disabled (-nocache)
 	if !*nocache {
 		cache = runner.Open(*cacheDir)
+		cache.SetLogf(func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		})
 	}
 	if *progress {
 		runner.SetReporter(runner.NewWriterReporter(stderr))
 		defer runner.SetReporter(nil)
+	}
+
+	wanted := map[string]bool{}
+	for _, w := range strings.Split(*which, ",") {
+		wanted[strings.TrimSpace(w)] = true
+	}
+	all := wanted["all"]
+
+	// Sweep checkpoint: keyed by (parameters, selection, code version) so
+	// a rerun of the same configuration finds its own progress and nothing
+	// else's. Checkpointing needs the cache (it records cache keys), so
+	// -nocache disables it.
+	var ckpt *runner.Checkpoint
+	if cache != nil {
+		ckpt = runner.OpenCheckpoint(*ckptDir, runID(p, wanted))
+		if *resume {
+			if n := ckpt.Len(); n > 0 {
+				fmt.Fprintf(stderr, "(resume: checkpoint lists %d completed experiment(s): %s)\n",
+					n, strings.Join(ckpt.DoneSlugs(), ", "))
+			} else {
+				fmt.Fprintln(stderr, "(resume: no checkpoint for this configuration; running everything)")
+			}
+		} else if ckpt.Len() > 0 {
+			// A stale checkpoint from an interrupted identical run: without
+			// -resume the run starts over, so drop the old progress record.
+			ckpt.Reset()
+		}
+	} else if *resume {
+		fmt.Fprintln(stderr, "paperbench: -resume needs the result cache; ignoring it under -nocache")
 	}
 
 	emit := func(slug string, t *stats.Table) {
@@ -157,13 +250,8 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	wanted := map[string]bool{}
-	for _, w := range strings.Split(*which, ",") {
-		wanted[strings.TrimSpace(w)] = true
-	}
-	all := wanted["all"]
 	ran, failed := 0, 0
-	run := func(names []string, f func()) {
+	run := func(names []string, f func() error) {
 		hit := all
 		for _, n := range names {
 			hit = hit || wanted[n]
@@ -173,40 +261,55 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		}
 		ran++
 		start := time.Now()
-		// One panicking experiment (runner.MustMap re-raising a job
-		// failure, say) must not take down the rest of the sweep.
-		func() {
+		// One failing experiment must not take down the rest of the sweep:
+		// errors (and any stray panic) are rendered as a failure summary on
+		// stderr and the run continues with the next experiment.
+		err := func() (err error) {
 			defer func() {
 				if r := recover(); r != nil {
-					failed++
-					fmt.Fprintf(stderr, "paperbench: experiment %s FAILED: %v\n", names[0], r)
+					err = fmt.Errorf("panic: %v", r)
 				}
 			}()
-			f()
+			return f()
 		}()
+		if err != nil {
+			failed++
+			renderFailure(stderr, names[0], err)
+		}
 		// Blank separator between experiment blocks (deterministic, so it
 		// belongs on stdout); the timing is diagnostic and goes to stderr.
 		fmt.Fprintln(stdout)
 		fmt.Fprintf(stderr, "(%s in %.1fs)\n", names[0], time.Since(start).Seconds())
 	}
 
-	run([]string{"fig1"}, func() {
-		r := memoize(cache, "fig1", p, stderr, func() experiments.Fig1Result { return experiments.Figure1(p) })
+	run([]string{"fig1"}, func() error {
+		r, err := memoize(cache, ckpt, "fig1", p, stderr, *resume, func() (experiments.Fig1Result, error) { return experiments.Figure1(p) })
+		if err != nil {
+			return err
+		}
 		emit("fig1", r.Table())
 		fmt.Fprintf(stdout, "paper: 88%%/86%% conflict/capacity on 16KB DM, 91%%/92%% on 64KB DM; ≥87%% of misses overall\n")
 		fmt.Fprintf(stdout, "here : %.0f%%/%.0f%% on 16KB DM, %.0f%%/%.0f%% on 64KB DM\n",
 			100*r.MeanConflictAcc["16KB-DM"], 100*r.MeanCapacityAcc["16KB-DM"],
 			100*r.MeanConflictAcc["64KB-DM"], 100*r.MeanCapacityAcc["64KB-DM"])
+		return nil
 	})
 
-	run([]string{"fig2"}, func() {
-		r := memoize(cache, "fig2", p, stderr, func() experiments.Fig2Result { return experiments.Figure2(p) })
+	run([]string{"fig2"}, func() error {
+		r, err := memoize(cache, ckpt, "fig2", p, stderr, *resume, func() (experiments.Fig2Result, error) { return experiments.Figure2(p) })
+		if err != nil {
+			return err
+		}
 		emit("fig2", r.Table())
 		fmt.Fprintln(stdout, "paper: 8-12 bits ≈ full-tag accuracy; 1 bit excludes ~half of capacity misses cheaply")
+		return nil
 	})
 
-	run([]string{"fig3", "table1"}, func() {
-		r := memoize(cache, "fig3", p, stderr, func() experiments.Fig3Result { return experiments.Figure3(p) })
+	run([]string{"fig3", "table1"}, func() error {
+		r, err := memoize(cache, ckpt, "fig3", p, stderr, *resume, func() (experiments.Fig3Result, error) { return experiments.Figure3(p) })
+		if err != nil {
+			return err
+		}
 		if all || wanted["fig3"] {
 			emit("fig3", r.Table())
 			fmt.Fprintln(stdout, r.Chart("geomean speedup over no victim cache (| marks 1.0)", 0))
@@ -217,33 +320,49 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 			emit("table1", r.Table1Text())
 			fmt.Fprintln(stdout, "paper Table 1: fills 6.6 -> 2.6 (more than halved), swaps 1.7 -> 0.1, total HR -0.3pp")
 		}
+		return nil
 	})
 
-	run([]string{"fig4"}, func() {
-		r := memoize(cache, "fig4", p, stderr, func() experiments.Fig4Result { return experiments.Figure4(p) })
+	run([]string{"fig4"}, func() error {
+		r, err := memoize(cache, ckpt, "fig4", p, stderr, *resume, func() (experiments.Fig4Result, error) { return experiments.Figure4(p) })
+		if err != nil {
+			return err
+		}
 		emit("fig4", r.Table())
 		fmt.Fprintf(stdout, "paper: ~+25%% prefetch accuracy from filtering, little speedup by itself; here %+.0f%% accuracy\n",
 			100*r.AccuracyGain())
+		return nil
 	})
 
-	run([]string{"fig5"}, func() {
-		r := memoize(cache, "fig5", p, stderr, func() experiments.Fig5Result { return experiments.Figure5(p) })
+	run([]string{"fig5"}, func() error {
+		r, err := memoize(cache, ckpt, "fig5", p, stderr, *resume, func() (experiments.Fig5Result, error) { return experiments.Figure5(p) })
+		if err != nil {
+			return err
+		}
 		emit("fig5", r.Table())
 		hr, sp := r.CapacityBeatsMAT()
 		fmt.Fprintf(stdout, "paper: the simple capacity filter beats the MAT on hit rate and speedup; here hitrate=%v speedup=%v\n", hr, sp)
+		return nil
 	})
 
-	run([]string{"pseudo"}, func() {
-		r := memoize(cache, "pseudo", p, stderr, func() experiments.PseudoResult { return experiments.PseudoAssoc(p) })
+	run([]string{"pseudo"}, func() error {
+		r, err := memoize(cache, ckpt, "pseudo", p, stderr, *resume, func() (experiments.PseudoResult, error) { return experiments.PseudoAssoc(p) })
+		if err != nil {
+			return err
+		}
 		emit("pseudo", r.Table())
 		base, mct := r.MissRates()
 		fmt.Fprintf(stdout, "paper: MCT policy +1.5%% over base PA, within 0.9%% of true 2-way, miss rate 10.22%%->9.83%%\n")
 		fmt.Fprintf(stdout, "here : %+.1f%% over base PA, %.1f%% vs 2-way, miss rate %.2f%%->%.2f%%\n",
 			100*(r.MCTOverBase()-1), 100*(r.MCTVsTwoWay()-1), 100*base, 100*mct)
+		return nil
 	})
 
-	run([]string{"fig6", "fig7"}, func() {
-		r := memoize(cache, "fig6", p, stderr, func() experiments.Fig6Result { return experiments.Figure6(p) })
+	run([]string{"fig6", "fig7"}, func() error {
+		r, err := memoize(cache, ckpt, "fig6", p, stderr, *resume, func() (experiments.Fig6Result, error) { return experiments.Figure6(p) })
+		if err != nil {
+			return err
+		}
 		if all || wanted["fig6"] {
 			emit("fig6", r.Table())
 			fmt.Fprintln(stdout, r.Chart("geomean speedup over no buffer (| marks 1.0)", 0))
@@ -256,58 +375,87 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		if all || wanted["fig7"] {
 			emit("fig7", r.Figure7Table())
 		}
+		return nil
 	})
 
-	run([]string{"replacement"}, func() {
-		r := memoize(cache, "replacement", p, stderr, func() experiments.ReplacementResult { return experiments.Replacement(p) })
+	run([]string{"replacement"}, func() error {
+		r, err := memoize(cache, ckpt, "replacement", p, stderr, *resume, func() (experiments.ReplacementResult, error) { return experiments.Replacement(p) })
+		if err != nil {
+			return err
+		}
 		emit("replacement", r.Table())
 		fmt.Fprintln(stdout, "paper Sec 5.6: modest on this suite by the paper's own admission; the bias must not hurt")
+		return nil
 	})
 
-	run([]string{"remap"}, func() {
-		r := memoize(cache, "remap", p, stderr, func() experiments.RemapResult { return experiments.Remap(p) })
+	run([]string{"remap"}, func() error {
+		r, err := memoize(cache, ckpt, "remap", p, stderr, *resume, func() (experiments.RemapResult, error) { return experiments.Remap(p) })
+		if err != nil {
+			return err
+		}
 		emit("remap", r.Table())
 		ra, rc, ma, mc := r.RemapEfficiency()
 		fmt.Fprintf(stdout, "paper Sec 5.6: count only conflict misses to avoid pointless remaps\n")
 		fmt.Fprintf(stdout, "here : all-miss counting %d remaps (mean miss %.2f%%); conflict-only %d remaps (mean miss %.2f%%)\n",
 			ra, 100*ma, rc, 100*mc)
+		return nil
 	})
 
-	run([]string{"depth"}, func() {
-		r := memoize(cache, "depth", p, stderr, func() experiments.DepthResult { return experiments.MCTDepth(p) })
+	run([]string{"depth"}, func() error {
+		r, err := memoize(cache, ckpt, "depth", p, stderr, *resume, func() (experiments.DepthResult, error) { return experiments.MCTDepth(p) })
+		if err != nil {
+			return err
+		}
 		emit("depth", r.Table())
 		fmt.Fprintln(stdout, "extension the paper set aside: deeper eviction history buys conflict accuracy")
 		fmt.Fprintln(stdout, "but loses capacity accuracy to false matches — the one-deep table is the sweet spot")
+		return nil
 	})
 
-	run([]string{"smt"}, func() {
-		r := memoize(cache, "smt", p, stderr, func() experiments.SMTResult { return experiments.SMTStudy(p) })
+	run([]string{"smt"}, func() error {
+		r, err := memoize(cache, ckpt, "smt", p, stderr, *resume, func() (experiments.SMTResult, error) { return experiments.SMTStudy(p) })
+		if err != nil {
+			return err
+		}
 		emit("smt", r.Table())
 		fmt.Fprintf(stdout, "paper Sec 5.6: the techniques \"apply to an even greater extent with multithreaded caches\"\n")
 		fmt.Fprintf(stdout, "here : AMB gains %+.1f%% on 2-thread shared caches vs %+.1f%% on solo runs\n",
 			100*(r.PairGain()-1), 100*(r.SingleGain-1))
+		return nil
 	})
 
-	run([]string{"icache"}, func() {
-		r := memoize(cache, "icache", p, stderr, func() experiments.ICacheResult { return experiments.ICacheStudy(p) })
+	run([]string{"icache"}, func() error {
+		r, err := memoize(cache, ckpt, "icache", p, stderr, *resume, func() (experiments.ICacheResult, error) { return experiments.ICacheStudy(p) })
+		if err != nil {
+			return err
+		}
 		emit("icache", r.Table())
 		fmt.Fprintf(stdout, "paper: techniques \"should, in general, also apply to the instruction cache\"\n")
 		fmt.Fprintf(stdout, "here : bare 8KB L1I costs %.1f%%; a 32-entry filtered victim buffer recovers %+.1f%%\n",
 			100*(1-r.ICacheCost()), 100*(r.VictimGain()-1))
+		return nil
 	})
 
-	run([]string{"sweep"}, func() {
-		r := memoize(cache, "sweep", p, stderr, func() experiments.SweepResult { return experiments.ConfigSweep(p) })
+	run([]string{"sweep"}, func() error {
+		r, err := memoize(cache, ckpt, "sweep", p, stderr, *resume, func() (experiments.SweepResult, error) { return experiments.ConfigSweep(p) })
+		if err != nil {
+			return err
+		}
 		emit("sweep", r.Table())
 		fmt.Fprintf(stdout, "generalization: worst-case overall accuracy %.1f%% across the grid;\n", 100*r.MinOverallAcc())
 		fmt.Fprintln(stdout, "conflict share collapses with associativity, which is why the paper")
 		fmt.Fprintln(stdout, "points at multithreaded and OLTP workloads rather than bigger caches")
+		return nil
 	})
 
-	run([]string{"cosched"}, func() {
-		r := memoize(cache, "cosched", p, stderr, func() experiments.CoScheduleResult { return experiments.CoSchedule(p) })
+	run([]string{"cosched"}, func() error {
+		r, err := memoize(cache, ckpt, "cosched", p, stderr, *resume, func() (experiments.CoScheduleResult, error) { return experiments.CoSchedule(p) })
+		if err != nil {
+			return err
+		}
 		emit("cosched", r.Table())
 		fmt.Fprintln(stdout, "paper Sec 5.6: jobs producing inordinate conflict misses together are bad co-schedule candidates")
+		return nil
 	})
 
 	if ran == 0 {
@@ -318,25 +466,98 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 	if cache != nil {
 		hits, misses := cache.Stats()
 		fmt.Fprintf(stderr, "(cache: %d hit(s), %d miss(es) under %s)\n", hits, misses, *cacheDir)
+		if q := cache.Quarantined(); q > 0 {
+			fmt.Fprintf(stderr, "(cache: %d corrupt entr(ies) quarantined under %s)\n", q, filepath.Join(*cacheDir, runner.QuarantineDirName))
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(stderr, "paperbench: %d of %d experiment group(s) failed\n", failed, ran)
-		return 1
+		if *strict || failed == ran {
+			return 1
+		}
+		fmt.Fprintln(stderr, "paperbench: partial results above; rerun with -resume to retry the failures (-strict makes this exit non-zero)")
+		return 0
+	}
+	// Full success: the run is complete, so there is nothing to resume.
+	if err := ckpt.Remove(); err != nil {
+		fmt.Fprintln(stderr, "paperbench: removing checkpoint:", err)
 	}
 	return 0
 }
 
-// memoize wraps one experiment in the on-disk cache. On a hit the
-// experiment is skipped entirely; the returned value is always the JSON
-// round-trip of the computed one, so stdout is byte-identical whether the
-// result was computed or replayed (cache diagnostics go to stderr).
-func memoize[T any](c *runner.Cache, slug string, p experiments.Params, stderr io.Writer, f func() T) T {
-	v, hit, err := runner.Memo(c, slug, p, func() (T, error) { return f(), nil })
+// runID derives the checkpoint identity of this invocation: a digest of
+// the parameters, the normalized experiment selection, and the code
+// version — everything that decides which cells the run computes and
+// what their cache keys are. Deterministic, so a rerun of the same
+// configuration (with or without -resume) maps to the same checkpoint
+// file.
+func runID(p experiments.Params, wanted map[string]bool) string {
+	sel := make([]string, 0, len(wanted))
+	for w := range wanted {
+		sel = append(sel, w)
+	}
+	sort.Strings(sel)
+	enc, _ := json.Marshal(p)
+	h := sha256.New()
+	fmt.Fprintf(h, "code=%s\x00params=%s\x00sel=%s", runner.CodeVersion(), enc, strings.Join(sel, ","))
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// renderFailure writes the failure summary of one experiment group to
+// stderr: every failed task with its label, index, and attempt count
+// when the error carries that structure (runner.MultiError/TaskError),
+// else the plain error.
+func renderFailure(w io.Writer, name string, err error) {
+	fmt.Fprintf(w, "paperbench: experiment %s FAILED:\n", name)
+	var me *runner.MultiError
+	var te *runner.TaskError
+	switch {
+	case errors.As(err, &me):
+		fmt.Fprintf(w, "  %d of %d task(s) failed:\n", len(me.Failures), me.Total)
+		for _, f := range me.Failures {
+			fmt.Fprintf(w, "  - task %d (%s), %d attempt(s): %v\n", f.Index, label(f.Label), f.Attempts, f.Err)
+		}
+	case errors.As(err, &te):
+		fmt.Fprintf(w, "  - task %d (%s), %d attempt(s): %v\n", te.Index, label(te.Label), te.Attempts, te.Err)
+	default:
+		fmt.Fprintf(w, "  %v\n", err)
+	}
+}
+
+// label never renders empty.
+func label(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return s
+}
+
+// memoize wraps one experiment in the on-disk cache and records its
+// completion in the sweep checkpoint. On a hit the experiment is skipped
+// entirely; the returned value is always the JSON round-trip of the
+// computed one, so stdout is byte-identical whether the result was
+// computed or replayed (cache diagnostics go to stderr). Failed
+// experiments are neither cached nor checkpointed — a later -resume run
+// recomputes exactly those.
+func memoize[T any](c *runner.Cache, ckpt *runner.Checkpoint, slug string, p experiments.Params, stderr io.Writer, resume bool, f func() (T, error)) (T, error) {
+	v, hit, err := runner.Memo(c, slug, p, f)
 	if err != nil {
-		panic(err)
+		return v, err
 	}
 	if hit {
 		fmt.Fprintf(stderr, "(%s: cached)\n", slug)
 	}
-	return v
+	if resume {
+		if _, done := ckpt.DoneKey(slug); done && !hit {
+			// The checkpoint promised this cell but the cache could not
+			// deliver it (entry quarantined, cache cleared): recomputed.
+			fmt.Fprintf(stderr, "(resume: %s was checkpointed but missed the cache; recomputed)\n", slug)
+		}
+	}
+	if key, kerr := runner.Key(slug, p); kerr == nil {
+		if cerr := ckpt.MarkDone(slug, key); cerr != nil {
+			fmt.Fprintf(stderr, "paperbench: checkpointing %s: %v\n", slug, cerr)
+		}
+	}
+	return v, nil
 }

@@ -38,7 +38,7 @@ type DepthResult struct {
 // cache. The expected shape: depth 2 recovers most of the conflict
 // accuracy the one-deep table loses to higher-order rotations (turb3d),
 // with diminishing returns past depth 3 and linear storage growth.
-func MCTDepth(p Params) DepthResult {
+func MCTDepth(p Params) (DepthResult, error) {
 	p = p.withDefaults()
 	cfg := cache.Config{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: 1}
 	depths := []int{1, 2, 3, 4}
@@ -65,9 +65,9 @@ func MCTDepth(p Params) DepthResult {
 			}, nil
 		})
 	if err != nil {
-		panic(err)
+		return DepthResult{}, err
 	}
-	return DepthResult{Points: points}
+	return DepthResult{Points: points}, nil
 }
 
 // depthRun plays one benchmark through cache + DeepMCT + oracle in

@@ -6,7 +6,7 @@ func TestMCTDepthSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("functional sweep is slow")
 	}
-	r := MCTDepth(small())
+	r := must(MCTDepth(small()))
 	t.Logf("\n%s", r.Table())
 	d1, _ := r.PointAt(1)
 	d2, _ := r.PointAt(2)

@@ -27,8 +27,8 @@ func withGOMAXPROCS(n int, f func()) {
 func TestFigure1DeterministicAcrossWorkerCounts(t *testing.T) {
 	p := detParams()
 	var serial, parallel string
-	withGOMAXPROCS(1, func() { serial = Figure1(p).Table().String() })
-	withGOMAXPROCS(8, func() { parallel = Figure1(p).Table().String() })
+	withGOMAXPROCS(1, func() { serial = must(Figure1(p)).Table().String() })
+	withGOMAXPROCS(8, func() { parallel = must(Figure1(p)).Table().String() })
 	if serial != parallel {
 		t.Errorf("Figure1 table differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
 	}
@@ -39,8 +39,8 @@ func TestFigure1DeterministicAcrossWorkerCounts(t *testing.T) {
 func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	p := detParams()
 	var serial, parallel string
-	withGOMAXPROCS(1, func() { serial = ConfigSweep(p).Table().String() })
-	withGOMAXPROCS(8, func() { parallel = ConfigSweep(p).Table().String() })
+	withGOMAXPROCS(1, func() { serial = must(ConfigSweep(p)).Table().String() })
+	withGOMAXPROCS(8, func() { parallel = must(ConfigSweep(p)).Table().String() })
 	if serial != parallel {
 		t.Errorf("ConfigSweep table differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
 	}
@@ -53,8 +53,8 @@ func TestFigure1RepeatableAtFixedWidth(t *testing.T) {
 	p := detParams()
 	var a, b string
 	withGOMAXPROCS(8, func() {
-		a = Figure1(p).Table().String()
-		b = Figure1(p).Table().String()
+		a = must(Figure1(p)).Table().String()
+		b = must(Figure1(p)).Table().String()
 	})
 	if a != b {
 		t.Error("two identical Figure1 runs disagree")

@@ -35,7 +35,7 @@ type ReplacementResult struct {
 // associativity are] not in general true of the workloads used in this
 // paper"), which is itself the reproduction target: the bias must not
 // hurt, and the gain concentrates in the conflict-heavy benchmarks.
-func Replacement(p Params) ReplacementResult {
+func Replacement(p Params) (ReplacementResult, error) {
 	p = p.withDefaults()
 	mk := func(ways int, useMCT bool) sim.SystemFactory {
 		cfg := cache.Config{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: ways}
@@ -45,7 +45,11 @@ func Replacement(p Params) ReplacementResult {
 		mk(4, false), mk(4, true), mk(8, false), mk(8, true),
 	}
 	opt := sim.Options{Instructions: p.Instructions, Seed: p.Seed}
-	return ReplacementResult{runTiming(ReplacementSystems, factories, opt)}
+	ts, err := runTiming(ReplacementSystems, factories, opt)
+	if err != nil {
+		return ReplacementResult{}, err
+	}
+	return ReplacementResult{ts}, nil
 }
 
 // Table renders the replacement study: IPC ratios of MCT-biased over LRU
@@ -83,7 +87,7 @@ type RemapResult struct {
 // variant should match or beat all-miss counting on miss rate while
 // performing far fewer remaps (each remap is an OS page copy, so fewer is
 // better at equal miss rate).
-func Remap(p Params) RemapResult {
+func Remap(p Params) (RemapResult, error) {
 	p = p.withDefaults()
 	benches := workload.Carried()
 	rows, err := runner.MapN(context.Background(), len(benches),
@@ -113,9 +117,9 @@ func Remap(p Params) RemapResult {
 			return row, nil
 		})
 	if err != nil {
-		panic(err)
+		return RemapResult{}, err
 	}
-	return RemapResult{Rows: rows}
+	return RemapResult{Rows: rows}, nil
 }
 
 // Table renders the recoloring study.
@@ -155,7 +159,7 @@ type CoScheduleResult struct {
 // CoSchedule builds the pairwise cross-thread-conflict matrix over a
 // representative subset of the suite (full 16-benchmark pairing is 120
 // shared runs; the subset keeps the default scale interactive).
-func CoSchedule(p Params) CoScheduleResult {
+func CoSchedule(p Params) (CoScheduleResult, error) {
 	p = p.withDefaults()
 	names := []string{"tomcatv", "swim", "gcc", "go", "li", "wave5"}
 	benches := make([]*workload.Benchmark, 0, len(names))
@@ -169,9 +173,9 @@ func CoSchedule(p Params) CoScheduleResult {
 	cfg.Seed = p.Seed
 	pairs, err := mt.CoScheduleMatrix(benches, cfg)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: co-schedule: %v", err))
+		return CoScheduleResult{}, fmt.Errorf("experiments: co-schedule: %w", err)
 	}
-	return CoScheduleResult{Pairs: pairs}
+	return CoScheduleResult{Pairs: pairs}, nil
 }
 
 // Table renders the co-schedule ranking, best pairs first.

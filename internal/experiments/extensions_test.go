@@ -9,7 +9,7 @@ func TestReplacementSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing sweep is slow")
 	}
-	r := Replacement(small())
+	r := must(Replacement(small()))
 	t.Logf("\n%s", r.Table())
 	if s := r.MeanSpeedup(1, 0); s < 0.99 {
 		t.Errorf("4-way MCT bias hurts: %.3f", s)
@@ -26,7 +26,7 @@ func TestRemapSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("functional sweep is slow")
 	}
-	r := Remap(small())
+	r := must(Remap(small()))
 	t.Logf("\n%s", r.Table())
 	ra, rc, ma, mc := r.RemapEfficiency()
 	if rc >= ra {
@@ -46,7 +46,7 @@ func TestCoScheduleSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shared-cache sweep is slow")
 	}
-	r := CoSchedule(small())
+	r := must(CoSchedule(small()))
 	t.Logf("\n%s", r.Table())
 	if len(r.Pairs) != 15 { // C(6,2)
 		t.Fatalf("pairs = %d", len(r.Pairs))

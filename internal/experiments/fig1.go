@@ -41,7 +41,7 @@ type Fig1Result struct {
 
 // Figure1 measures MCT classification accuracy (full tags) against the
 // classic oracle for every benchmark on the four cache configurations.
-func Figure1(p Params) Fig1Result {
+func Figure1(p Params) (Fig1Result, error) {
 	p = p.withDefaults()
 	suite := workload.Suite()
 	rows := make([]Fig1Row, len(suite))
@@ -57,7 +57,10 @@ func Figure1(p Params) Fig1Result {
 				}))
 		}
 	}
-	cells := runner.MustMap(context.Background(), tasks)
+	cells, err := runner.Map(context.Background(), tasks)
+	if err != nil {
+		return Fig1Result{}, err
+	}
 	for bi, b := range suite {
 		row := Fig1Row{Bench: b.Name, Cells: make([]Fig1Cell, len(figure1Configs))}
 		copy(row.Cells, cells[bi*len(figure1Configs):(bi+1)*len(figure1Configs)])
@@ -88,7 +91,7 @@ func Figure1(p Params) Fig1Result {
 		res.MeanOverallAcc[cfg.Name] = stats.Mean(all)
 		_ = ci
 	}
-	return res
+	return res, nil
 }
 
 func figure1Cell(b *workload.Benchmark, name string, cfg cache.Config, p Params) (Fig1Cell, error) {

@@ -11,7 +11,7 @@ func TestFigure1Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("functional sweep is slow")
 	}
-	r := Figure1(Params{MemAccesses: 100_000})
+	r := must(Figure1(Params{MemAccesses: 100_000}))
 	t.Logf("\n%s", r.Table())
 	if len(r.Rows) != 16 {
 		t.Fatalf("rows = %d", len(r.Rows))
@@ -42,7 +42,7 @@ func TestFigure2Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("functional sweep is slow")
 	}
-	r := Figure2(Params{MemAccesses: 100_000})
+	r := must(Figure2(Params{MemAccesses: 100_000}))
 	t.Logf("\n%s", r.Table())
 	one, ok1 := r.PointAt(1)
 	eight, ok8 := r.PointAt(8)

@@ -35,7 +35,7 @@ type Fig2Result struct {
 // the conflict classification, so conflict accuracy starts artificially
 // high and capacity accuracy low; by 8–12 bits both converge to the
 // full-tag values (the paper's storage-efficiency claim).
-func Figure2(p Params) Fig2Result {
+func Figure2(p Params) (Fig2Result, error) {
 	p = p.withDefaults()
 	cfg := cache.Config{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: 1}
 	suite := workload.Suite()
@@ -66,9 +66,9 @@ func Figure2(p Params) Fig2Result {
 			}, nil
 		})
 	if err != nil {
-		panic(err)
+		return Fig2Result{}, err
 	}
-	return Fig2Result{Points: points}
+	return Fig2Result{Points: points}, nil
 }
 
 // Table renders the Figure-2 series as text.

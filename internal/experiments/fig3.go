@@ -24,7 +24,7 @@ type Fig3Result struct {
 // Figure3 runs the victim-cache policy comparison on the carried suite.
 // All filtered policies use the or-conflict filter, the paper's most
 // liberal identification of conflict misses.
-func Figure3(p Params) Fig3Result {
+func Figure3(p Params) (Fig3Result, error) {
 	p = p.withDefaults()
 	cfg := sim.L1Config()
 	factories := []sim.SystemFactory{
@@ -43,7 +43,11 @@ func Figure3(p Params) Fig3Result {
 		},
 	}
 	opt := sim.Options{Instructions: p.Instructions, Seed: p.Seed}
-	return Fig3Result{runTiming(Fig3Systems, factories, opt)}
+	ts, err := runTiming(Fig3Systems, factories, opt)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	return Fig3Result{ts}, nil
 }
 
 // Table renders Figure 3 as per-benchmark speedups over the no-victim

@@ -25,7 +25,7 @@ type Fig4Result struct {
 // Figure4 runs the next-line prefetch comparison. Following the paper, the
 // speedups use a slower L1–L2 bus than the rest of the evaluation, the
 // regime where prefetch accuracy (not just coverage) matters.
-func Figure4(p Params) Fig4Result {
+func Figure4(p Params) (Fig4Result, error) {
 	p = p.withDefaults()
 	cfg := sim.L1Config()
 	mk := func(f core.Filter) sim.SystemFactory {
@@ -43,7 +43,11 @@ func Figure4(p Params) Fig4Result {
 		mk(core.OrConflict),
 	}
 	opt := sim.Options{Instructions: p.Instructions, Seed: p.Seed, Hier: hier.SlowBusConfig()}
-	return Fig4Result{runTiming(Fig4Systems, factories, opt)}
+	ts, err := runTiming(Fig4Systems, factories, opt)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	return Fig4Result{ts}, nil
 }
 
 // Accuracy returns suite-average prefetch accuracy for a system index

@@ -21,7 +21,7 @@ type Fig5Result struct {
 }
 
 // Figure5 runs the exclusion-policy comparison on the carried suite.
-func Figure5(p Params) Fig5Result {
+func Figure5(p Params) (Fig5Result, error) {
 	p = p.withDefaults()
 	cfg := sim.L1Config()
 	mk := func(m exclude.Mode) sim.SystemFactory {
@@ -38,7 +38,11 @@ func Figure5(p Params) Fig5Result {
 		mk(exclude.ModeCapacityHistory),
 	}
 	opt := sim.Options{Instructions: p.Instructions, Seed: p.Seed}
-	return Fig5Result{runTiming(Fig5Systems, factories, opt)}
+	ts, err := runTiming(Fig5Systems, factories, opt)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	return Fig5Result{ts}, nil
 }
 
 // Table renders Figure 5: mean total hit rate and mean speedup per policy.

@@ -39,7 +39,7 @@ type Fig6Result struct {
 // the best combination (VictPref at 8 entries) more than doubles the gain
 // of any single policy, about 16% better performance than any single
 // technique, with the do-everything VicPreExc overtaking it at 16 entries.
-func Figure6(p Params) Fig6Result {
+func Figure6(p Params) (Fig6Result, error) {
 	p = p.withDefaults()
 	cfg := sim.L1Config()
 	factories := []sim.SystemFactory{
@@ -52,7 +52,11 @@ func Figure6(p Params) Fig6Result {
 		})
 	}
 	opt := sim.Options{Instructions: p.Instructions, Seed: p.Seed}
-	return Fig6Result{runTiming(Fig6Systems, factories, opt)}
+	ts, err := runTiming(Fig6Systems, factories, opt)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	return Fig6Result{ts}, nil
 }
 
 // Table renders Figure 6 as speedups over the no-buffer baseline.

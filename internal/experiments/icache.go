@@ -52,7 +52,7 @@ func iCacheConfig() cache.Config {
 // once), so the paper's 8-entry buffer overflows before the re-miss and a
 // 32-entry buffer is needed for the hits to land. That sizing difference
 // is itself a finding of the study.
-func ICacheStudy(p Params) ICacheResult {
+func ICacheStudy(p Params) (ICacheResult, error) {
 	p = p.withDefaults()
 	benches := workload.Carried()
 	dcache := sim.L1Config()
@@ -90,9 +90,9 @@ func ICacheStudy(p Params) ICacheResult {
 			return row, nil
 		})
 	if err != nil {
-		panic(err)
+		return ICacheResult{}, err
 	}
-	return ICacheResult{Rows: rows}
+	return ICacheResult{Rows: rows}, nil
 }
 
 // VictimGain returns the geometric-mean speedup of the I-side victim

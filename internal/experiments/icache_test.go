@@ -10,7 +10,7 @@ func TestICacheStudySmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing sweep is slow")
 	}
-	r := ICacheStudy(small())
+	r := must(ICacheStudy(small()))
 	t.Logf("\n%s", r.Table())
 	if c := r.ICacheCost(); c >= 1.0 {
 		t.Errorf("a finite I-cache cannot be free: bare/perfect = %.3f", c)

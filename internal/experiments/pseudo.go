@@ -24,7 +24,7 @@ type PseudoResult struct {
 // policy improving the base pseudo-associative cache by 1.5% on average
 // (up to 7%), landing within 0.9% of a true 2-way cache, and cutting the
 // average miss rate from 10.22% to 9.83%.
-func PseudoAssoc(p Params) PseudoResult {
+func PseudoAssoc(p Params) (PseudoResult, error) {
 	p = p.withDefaults()
 	dm := sim.L1Config()
 	twoWay := cache.Config{Name: "L1D", Size: dm.Size, LineSize: dm.LineSize, Assoc: 2}
@@ -35,7 +35,11 @@ func PseudoAssoc(p Params) PseudoResult {
 		func() assist.System { return assist.MustNewBaseline(twoWay, TagBitsFull) },
 	}
 	opt := sim.Options{Instructions: p.Instructions, Seed: p.Seed}
-	return PseudoResult{runTiming(PseudoSystems, factories, opt)}
+	ts, err := runTiming(PseudoSystems, factories, opt)
+	if err != nil {
+		return PseudoResult{}, err
+	}
+	return PseudoResult{ts}, nil
 }
 
 // MCTOverBase returns the geometric-mean speedup of the MCT policy over

@@ -10,13 +10,23 @@ import (
 
 func small() Params { return Params{Instructions: 60_000, MemAccesses: 60_000} }
 
+// must unwraps an experiment's (result, error) pair; at test scale with no
+// fault injection the error path is unreachable, so a failure is a bug
+// worth the panic (which the test harness reports as a failure).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // TestTimingSmoke runs the victim-cache sweep end to end through the CPU
 // and hierarchy and sanity-checks the shape.
 func TestTimingSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing sweep is slow")
 	}
-	r := Figure3(small())
+	r := must(Figure3(small()))
 	for bi, b := range r.Benches {
 		for si, name := range r.SystemNames {
 			ipc := r.Results[bi][si].IPC()
@@ -44,7 +54,7 @@ func TestFigure4Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing sweep is slow")
 	}
-	r := Figure4(small())
+	r := must(Figure4(small()))
 	t.Logf("\n%s", r.Table())
 	if r.Accuracy(1) <= 0 {
 		t.Fatalf("unfiltered prefetcher reports zero accuracy")
@@ -59,7 +69,7 @@ func TestFigure5Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing sweep is slow")
 	}
-	r := Figure5(small())
+	r := must(Figure5(small()))
 	t.Logf("\n%s", r.Table())
 	hr, sp := r.CapacityBeatsMAT()
 	if !hr {
@@ -76,7 +86,7 @@ func TestPseudoSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing sweep is slow")
 	}
-	r := PseudoAssoc(small())
+	r := must(PseudoAssoc(small()))
 	t.Logf("\n%s", r.Table())
 	if s := r.MCTOverBase(); s < 0.995 {
 		t.Errorf("MCT replacement should not hurt the pseudo-associative cache: %.3f", s)
@@ -92,7 +102,7 @@ func TestFigure6Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing sweep is slow")
 	}
-	r := Figure6(small())
+	r := must(Figure6(small()))
 	t.Logf("\n%s", r.Table())
 	t.Logf("\n%s", r.Figure7Table())
 	sName, s := r.BestSingleGain()

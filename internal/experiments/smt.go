@@ -81,7 +81,7 @@ var smtPairs = [][2]string{
 // timing: threads dynamically sharing the L1 raise the conflict share of
 // misses, and the MCT-driven Adaptive Miss Buffer gains more on the
 // shared cache than it does on the same programs run alone.
-func SMTStudy(p Params) SMTResult {
+func SMTStudy(p Params) (SMTResult, error) {
 	p = p.withDefaults()
 	cfg := sim.L1Config()
 	perThread := p.Instructions / 2
@@ -120,7 +120,7 @@ func SMTStudy(p Params) SMTResult {
 			return s, nil
 		})
 	if err != nil {
-		panic(err)
+		return SMTResult{}, err
 	}
 
 	pairs, err := runner.MapN(context.Background(), len(smtPairs),
@@ -134,7 +134,7 @@ func SMTStudy(p Params) SMTResult {
 			return SMTPair{A: a, B: b, BaseIPC: baseIPC, AMBIPC: ambIPC, ConflictShareBase: confShare}, nil
 		})
 	if err != nil {
-		panic(err)
+		return SMTResult{}, err
 	}
 
 	gains := make([]float64, len(solos))
@@ -147,7 +147,7 @@ func SMTStudy(p Params) SMTResult {
 		Pairs:               pairs,
 		SingleGain:          stats.GeoMean(gains),
 		SingleConflictShare: stats.Mean(confs),
-	}
+	}, nil
 }
 
 // smtRun executes one two-thread co-run and returns combined IPC and the

@@ -9,7 +9,7 @@ func TestSMTStudySmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("SMT sweep is slow")
 	}
-	r := SMTStudy(small())
+	r := must(SMTStudy(small()))
 	t.Logf("\n%s", r.Table())
 	if r.PairGain() <= 1.0 {
 		t.Errorf("AMB should help shared caches: pair gain %.3f", r.PairGain())

@@ -36,7 +36,7 @@ type SweepResult struct {
 // everywhere (it is not tuned to 16KB DM), and the conflict share shrinks
 // with associativity — the reason the authors expected large multithreaded
 // and OLTP workloads, not bigger caches, to be the technique's future.
-func ConfigSweep(p Params) SweepResult {
+func ConfigSweep(p Params) (SweepResult, error) {
 	p = p.withDefaults()
 	var grid []SweepCell
 	for _, sizeKB := range []int{8, 16, 32, 64} {
@@ -74,9 +74,9 @@ func ConfigSweep(p Params) SweepResult {
 			return c, nil
 		})
 	if err != nil {
-		panic(err)
+		return SweepResult{}, err
 	}
-	return SweepResult{Cells: cells}
+	return SweepResult{Cells: cells}, nil
 }
 
 // Table renders the grid.

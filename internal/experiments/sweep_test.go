@@ -9,7 +9,7 @@ func TestConfigSweepSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("functional sweep is slow")
 	}
-	r := ConfigSweep(small())
+	r := must(ConfigSweep(small()))
 	t.Logf("\n%s", r.Table())
 	if len(r.Cells) != 12 {
 		t.Fatalf("cells = %d", len(r.Cells))

@@ -18,14 +18,19 @@ type TimingSeries struct {
 }
 
 // runTiming sweeps the carried suite over the given system factories.
-func runTiming(names []string, factories []sim.SystemFactory, opt sim.Options) TimingSeries {
+// Sweep failures (including partial-mode MultiErrors naming every failed
+// benchmark×system cell) propagate to the experiment's caller.
+func runTiming(names []string, factories []sim.SystemFactory, opt sim.Options) (TimingSeries, error) {
 	benches := workload.Carried()
-	res := sim.Sweep(benches, factories, opt)
+	res, err := sim.Sweep(benches, factories, opt)
+	if err != nil {
+		return TimingSeries{}, err
+	}
 	bn := make([]string, len(benches))
 	for i, b := range benches {
 		bn[i] = b.Name
 	}
-	return TimingSeries{SystemNames: names, Benches: bn, Results: res}
+	return TimingSeries{SystemNames: names, Benches: bn, Results: res}, nil
 }
 
 // Speedup returns IPC(system)/IPC(base) for one benchmark row.

@@ -21,22 +21,49 @@ const cacheSchema = 1
 // relative to the working directory.
 const DefaultCacheDir = "results/cache"
 
+// QuarantineDirName is the subdirectory of the cache dir that corrupt
+// entries are moved into for post-mortem inspection.
+const QuarantineDirName = "quarantine"
+
 // Cache is an on-disk memoization store for experiment results. Entries
 // are JSON files named by the hex key, written atomically (temp file +
 // rename) so a crashed or concurrent run never leaves a torn entry. A nil
 // *Cache is valid and always misses — the -nocache escape hatch.
+//
+// Corrupt or unreadable entries (a torn write from a crashed kernel, a
+// truncated disk, manual editing) are not silently overwritten: load
+// quarantines them into QuarantineDirName with a sidecar .reason file and
+// logs why, so torn writes stay diagnosable while the run recomputes the
+// cell cleanly.
 type Cache struct {
 	dir     string
 	mkdir   sync.Once
 	mkdirOK bool
+	logf    func(format string, args ...any)
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	quarantined atomic.Uint64
 }
 
 // Open returns a Cache rooted at dir. The directory is created lazily on
 // the first store, so read-only usage never touches the filesystem.
 func Open(dir string) *Cache { return &Cache{dir: dir} }
+
+// SetLogf installs the cache's diagnostic logger (quarantine reasons and
+// similar non-fatal conditions). Install before the cache is used; nil
+// (the default) discards diagnostics.
+func (c *Cache) SetLogf(logf func(format string, args ...any)) {
+	if c != nil {
+		c.logf = logf
+	}
+}
+
+func (c *Cache) log(format string, args ...any) {
+	if c != nil && c.logf != nil {
+		c.logf(format, args...)
+	}
+}
 
 // Stats returns the cache's hit/miss counts for this process.
 func (c *Cache) Stats() (hits, misses uint64) {
@@ -44,6 +71,15 @@ func (c *Cache) Stats() (hits, misses uint64) {
 		return 0, 0
 	}
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Quarantined returns how many corrupt entries this process moved to the
+// quarantine directory.
+func (c *Cache) Quarantined() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.quarantined.Load()
 }
 
 // Key derives the stable cache key for an experiment cell: a SHA-256 over
@@ -142,18 +178,53 @@ type entry struct {
 // path maps a key to its file.
 func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
 
-// load reads a raw cached result; ok is false on miss or any corruption
-// (corrupt entries are treated as absent, never fatal).
+// quarantine moves a corrupt entry into the quarantine subdirectory with
+// a sidecar .reason file instead of leaving it in place to be silently
+// overwritten. Never fatal: on any filesystem error the entry is left
+// where it is and only the log records the problem.
+func (c *Cache) quarantine(key, reason string) {
+	c.quarantined.Add(1)
+	qdir := filepath.Join(c.dir, QuarantineDirName)
+	dst := filepath.Join(qdir, key+".json")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		c.log("runner: cache entry %s is corrupt (%s) but quarantine dir failed: %v", key, reason, err)
+		return
+	}
+	if err := os.Rename(c.path(key), dst); err != nil {
+		c.log("runner: cache entry %s is corrupt (%s) but quarantine move failed: %v", key, reason, err)
+		return
+	}
+	// Best-effort sidecar: the move above already preserved the evidence.
+	_ = os.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
+	c.log("runner: quarantined corrupt cache entry %s: %s", key, reason)
+}
+
+// load reads a raw cached result; ok is false on miss or any corruption.
+// Corruption (unreadable file, bad JSON, impossible slug mismatch) is
+// quarantined for diagnosis and then treated as a miss, never fatal. A
+// schema mismatch is a clean miss: it is the documented format-migration
+// path, not a torn write.
 func (c *Cache) load(slug, key string) (json.RawMessage, bool) {
 	if c == nil {
 		return nil, false
 	}
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
+		if !os.IsNotExist(err) {
+			c.quarantine(key, fmt.Sprintf("unreadable: %v", err))
+		}
 		return nil, false
 	}
 	var e entry
-	if json.Unmarshal(data, &e) != nil || e.Schema != cacheSchema || e.Slug != slug {
+	if uerr := json.Unmarshal(data, &e); uerr != nil {
+		c.quarantine(key, fmt.Sprintf("undecodable entry envelope: %v", uerr))
+		return nil, false
+	}
+	if e.Schema != cacheSchema {
+		return nil, false
+	}
+	if e.Slug != slug {
+		c.quarantine(key, fmt.Sprintf("slug mismatch: entry says %q, lookup wants %q", e.Slug, slug))
 		return nil, false
 	}
 	return e.Result, true
@@ -216,7 +287,8 @@ func Memo[T any](c *Cache, slug string, payload any, compute func() (T, error)) 
 			return v, true, nil
 		}
 		// Undecodable result (type changed without a code-version bump):
-		// fall through and recompute.
+		// quarantine the evidence, then fall through and recompute.
+		c.quarantine(key, fmt.Sprintf("result does not decode into the current %s result type", slug))
 	}
 	if c != nil {
 		c.misses.Add(1)

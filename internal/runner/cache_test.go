@@ -2,9 +2,11 @@ package runner
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"strings"
 	"testing"
 )
 
@@ -250,5 +252,124 @@ func TestCodeVersionRunningBinary(t *testing.T) {
 		// fallback must have produced a suffix unless the build is
 		// VCS-stamped (in which case v is the revision, not the literal).
 		t.Error("running binary resolved to the bare 'unversioned' literal; digest fallback failed")
+	}
+}
+
+// --- Quarantine (corrupt-entry handling) ----------------------------------
+
+func TestQuarantineCorruptEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	c := Open(dir)
+	p := fakeParams{Seed: 11}
+	if _, _, err := Memo(c, "q", p, func() (int, error) { return 3, nil }); err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key("q", p)
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := Open(dir)
+	var logged []string
+	c2.SetLogf(func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	v, hit, err := Memo(c2, "q", p, func() (int, error) { return 3, nil })
+	if err != nil || hit || v != 3 {
+		t.Fatalf("corrupt entry: v=%d hit=%v err=%v", v, hit, err)
+	}
+
+	// The corrupt entry moved to quarantine with its reason sidecar; the
+	// recompute stored a fresh entry under the original path.
+	qpath := filepath.Join(dir, QuarantineDirName, key+".json")
+	raw, err := os.ReadFile(qpath)
+	if err != nil {
+		t.Fatalf("quarantined entry missing: %v", err)
+	}
+	if string(raw) != "{torn" {
+		t.Errorf("quarantine must preserve the evidence, got %q", raw)
+	}
+	reason, err := os.ReadFile(qpath + ".reason")
+	if err != nil {
+		t.Fatalf("reason sidecar missing: %v", err)
+	}
+	if !strings.Contains(string(reason), "undecodable") {
+		t.Errorf("reason = %q", reason)
+	}
+	if c2.Quarantined() != 1 {
+		t.Errorf("Quarantined() = %d, want 1", c2.Quarantined())
+	}
+	if len(logged) == 0 || !strings.Contains(logged[len(logged)-1], "quarantined") {
+		t.Errorf("quarantine not logged: %v", logged)
+	}
+	if _, hit, _ := Memo(Open(dir), "q", p, func() (int, error) { return 3, nil }); !hit {
+		t.Error("recomputed entry should hit on the next lookup")
+	}
+}
+
+func TestQuarantineSlugMismatch(t *testing.T) {
+	dir := t.TempDir()
+	key, _ := Key("a", 1)
+	data, _ := json.Marshal(entry{Schema: cacheSchema, Slug: "b", Result: json.RawMessage("3")})
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := Open(dir)
+	if _, ok := c.load("a", key); ok {
+		t.Fatal("mismatched slug must miss")
+	}
+	if c.Quarantined() != 1 {
+		t.Errorf("Quarantined() = %d, want 1", c.Quarantined())
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDirName, key+".json")); err != nil {
+		t.Errorf("mismatched entry not quarantined: %v", err)
+	}
+}
+
+func TestSchemaMismatchIsCleanMissNotQuarantine(t *testing.T) {
+	// A schema bump is the documented migration path: old entries must
+	// miss silently, not be treated as corruption.
+	dir := t.TempDir()
+	key, _ := Key("a", 1)
+	data, _ := json.Marshal(entry{Schema: cacheSchema + 1, Slug: "a", Result: json.RawMessage("3")})
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := Open(dir)
+	if _, ok := c.load("a", key); ok {
+		t.Fatal("newer-schema entry must miss")
+	}
+	if c.Quarantined() != 0 {
+		t.Errorf("schema mismatch quarantined %d entries; must be a clean miss", c.Quarantined())
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); err != nil {
+		t.Errorf("schema-mismatched entry must stay in place: %v", err)
+	}
+}
+
+func TestQuarantineUndecodableResultType(t *testing.T) {
+	// The envelope is fine but the result no longer decodes into the
+	// caller's type (a type change without a code-version bump): Memo must
+	// quarantine and recompute rather than fail.
+	dir := t.TempDir()
+	c := Open(dir)
+	if _, _, err := Memo(c, "typed", 7, func() (string, error) { return "text", nil }); err != nil {
+		t.Fatal(err)
+	}
+	c2 := Open(dir)
+	v, hit, err := Memo(c2, "typed", 7, func() (int, error) { return 42, nil })
+	if err != nil || hit || v != 42 {
+		t.Fatalf("type-changed entry: v=%d hit=%v err=%v", v, hit, err)
+	}
+	if c2.Quarantined() != 1 {
+		t.Errorf("Quarantined() = %d, want 1", c2.Quarantined())
+	}
+}
+
+func TestNilCacheQuarantineAccessors(t *testing.T) {
+	var c *Cache
+	c.SetLogf(func(string, ...any) {})
+	if c.Quarantined() != 0 {
+		t.Error("nil cache Quarantined() != 0")
 	}
 }

@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// checkpointSchema versions the on-disk checkpoint format.
+const checkpointSchema = 1
+
+// DefaultCheckpointDir is where cmd/paperbench snapshots sweep progress,
+// relative to the working directory.
+const DefaultCheckpointDir = "results/checkpoint"
+
+// Checkpoint records which cells of a sweep have completed, keyed by the
+// cell's slug, with the memo-cache key each completion was stored under.
+// It is persisted after every update with the same write-temp-then-rename
+// discipline as the cache, so a run killed at any instant leaves either
+// the previous snapshot or the new one — never a torn file. A resumed run
+// (paperbench -resume) replays checkpointed cells from the memo cache and
+// recomputes only the remainder.
+//
+// A nil *Checkpoint is valid and records nothing, mirroring the nil
+// *Cache convention.
+type Checkpoint struct {
+	mu   sync.Mutex
+	path string
+	data checkpointFile
+}
+
+type checkpointFile struct {
+	Schema int               `json:"schema"`
+	RunID  string            `json:"run_id"`
+	Done   map[string]string `json:"done"` // slug -> cache key
+}
+
+// OpenCheckpoint loads (or initializes) the checkpoint for runID under
+// dir. An existing file is adopted only if it matches the run ID and
+// schema; anything else — a different configuration's leftovers, a
+// corrupt file — starts an empty checkpoint (the stale file is simply
+// overwritten at the first MarkDone; checkpoints are pure progress
+// records, losing one only costs recomputation).
+func OpenCheckpoint(dir, runID string) *Checkpoint {
+	c := &Checkpoint{
+		path: filepath.Join(dir, runID+".json"),
+		data: checkpointFile{Schema: checkpointSchema, RunID: runID, Done: map[string]string{}},
+	}
+	raw, err := os.ReadFile(c.path)
+	if err != nil {
+		return c
+	}
+	var f checkpointFile
+	if json.Unmarshal(raw, &f) != nil || f.Schema != checkpointSchema || f.RunID != runID || f.Done == nil {
+		return c
+	}
+	c.data = f
+	return c
+}
+
+// MarkDone records that the cell slug completed under the given cache
+// key and persists the snapshot atomically.
+func (c *Checkpoint) MarkDone(slug, key string) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data.Done[slug] = key
+	return c.save()
+}
+
+// DoneKey returns the cache key slug completed under, if checkpointed.
+func (c *Checkpoint) DoneKey(slug string) (string, bool) {
+	if c == nil {
+		return "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key, ok := c.data.Done[slug]
+	return key, ok
+}
+
+// Len returns how many cells are checkpointed.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.data.Done)
+}
+
+// DoneSlugs returns the checkpointed cell slugs, sorted.
+func (c *Checkpoint) DoneSlugs() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slugs := make([]string, 0, len(c.data.Done))
+	for s := range c.data.Done {
+		slugs = append(slugs, s)
+	}
+	sort.Strings(slugs)
+	return slugs
+}
+
+// Reset drops all recorded progress (a fresh, non-resumed run adopting
+// the same run ID starts over). The on-disk file is rewritten on the
+// next MarkDone; Reset itself removes it so a run that completes nothing
+// leaves nothing behind.
+func (c *Checkpoint) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data.Done = map[string]string{}
+	_ = os.Remove(c.path)
+}
+
+// Remove deletes the on-disk snapshot — the run completed, there is
+// nothing left to resume.
+func (c *Checkpoint) Remove() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := os.Remove(c.path)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// save writes the snapshot via temp-file + rename. Caller holds c.mu.
+func (c *Checkpoint) save() error {
+	dir := filepath.Dir(c.path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("runner: checkpoint dir: %w", err)
+	}
+	raw, err := json.MarshalIndent(c.data, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: encoding checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint temp file: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: committing checkpoint: %w", err)
+	}
+	return nil
+}

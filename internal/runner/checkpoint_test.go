@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cp := OpenCheckpoint(dir, "run1")
+	if cp.Len() != 0 {
+		t.Fatalf("fresh checkpoint has %d entries", cp.Len())
+	}
+	if err := cp.MarkDone("fig1", "key-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.MarkDone("fig2", "key-b"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new open of the same run ID sees the persisted progress.
+	cp2 := OpenCheckpoint(dir, "run1")
+	if cp2.Len() != 2 {
+		t.Fatalf("reopened checkpoint has %d entries, want 2", cp2.Len())
+	}
+	if key, ok := cp2.DoneKey("fig1"); !ok || key != "key-a" {
+		t.Errorf("fig1 key = %q, %v", key, ok)
+	}
+	if got := cp2.DoneSlugs(); len(got) != 2 || got[0] != "fig1" || got[1] != "fig2" {
+		t.Errorf("DoneSlugs = %v, want sorted [fig1 fig2]", got)
+	}
+}
+
+func TestCheckpointIsolatedByRunID(t *testing.T) {
+	dir := t.TempDir()
+	if err := OpenCheckpoint(dir, "runA").MarkDone("fig1", "k"); err != nil {
+		t.Fatal(err)
+	}
+	// A different run ID must not see runA's progress.
+	if n := OpenCheckpoint(dir, "runB").Len(); n != 0 {
+		t.Errorf("runB adopted runA's checkpoint (%d entries)", n)
+	}
+}
+
+func TestCheckpointRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run1.json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := OpenCheckpoint(dir, "run1").Len(); n != 0 {
+		t.Errorf("corrupt checkpoint adopted (%d entries)", n)
+	}
+	// Wrong schema is equally rejected.
+	raw, _ := json.Marshal(checkpointFile{Schema: 999, RunID: "run1", Done: map[string]string{"x": "y"}})
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := OpenCheckpoint(dir, "run1").Len(); n != 0 {
+		t.Errorf("wrong-schema checkpoint adopted (%d entries)", n)
+	}
+}
+
+func TestCheckpointResetAndRemove(t *testing.T) {
+	dir := t.TempDir()
+	cp := OpenCheckpoint(dir, "run1")
+	if err := cp.MarkDone("fig1", "k"); err != nil {
+		t.Fatal(err)
+	}
+	cp.Reset()
+	if cp.Len() != 0 {
+		t.Error("Reset left entries behind")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "run1.json")); !os.IsNotExist(err) {
+		t.Error("Reset left the file on disk")
+	}
+
+	if err := cp.MarkDone("fig2", "k2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "run1.json")); !os.IsNotExist(err) {
+		t.Error("Remove left the file on disk")
+	}
+	// Removing an already-removed checkpoint is not an error.
+	if err := cp.Remove(); err != nil {
+		t.Errorf("double Remove: %v", err)
+	}
+}
+
+func TestCheckpointNilReceiver(t *testing.T) {
+	var cp *Checkpoint
+	if err := cp.MarkDone("x", "y"); err != nil {
+		t.Error(err)
+	}
+	if _, ok := cp.DoneKey("x"); ok {
+		t.Error("nil checkpoint reported a done cell")
+	}
+	if cp.Len() != 0 || cp.DoneSlugs() != nil {
+		t.Error("nil checkpoint not empty")
+	}
+	cp.Reset()
+	if err := cp.Remove(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckpointAtomicOnDisk(t *testing.T) {
+	// Every persisted state must be a complete, decodable snapshot — the
+	// write-temp-then-rename discipline means a reader never sees a torn
+	// file, and no temp files are left behind.
+	dir := t.TempDir()
+	cp := OpenCheckpoint(dir, "run1")
+	for i, slug := range []string{"a", "b", "c", "d"} {
+		if err := cp.MarkDone(slug, "k"); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "run1.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f checkpointFile
+		if err := json.Unmarshal(raw, &f); err != nil {
+			t.Fatalf("snapshot %d not decodable: %v", i, err)
+		}
+		if len(f.Done) != i+1 {
+			t.Fatalf("snapshot %d has %d entries", i, len(f.Done))
+		}
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Errorf("checkpoint dir has %d files, want 1 (no temp leftovers)", len(ents))
+	}
+}

@@ -12,8 +12,10 @@ import (
 // must be safe for concurrent use; the pool calls them from worker
 // goroutines.
 type Reporter interface {
-	// TaskDone fires when a task finishes (successfully or not) with its
-	// label, wall-clock duration, and error (nil on success).
+	// TaskDone fires when a task attempt finishes (successfully or not)
+	// with its label, wall-clock duration, and error (nil on success).
+	// With the Retry option every attempt reports, so a retried task is
+	// visible as FAILED lines followed by a success line.
 	TaskDone(label string, d time.Duration, err error)
 }
 
@@ -33,60 +35,81 @@ func SetReporter(r Reporter) {
 
 // Counters is a snapshot of the pool's lifetime accounting.
 type Counters struct {
-	// Started and Done count tasks handed to workers and tasks finished.
+	// Started and Done count task attempts handed to workers and attempts
+	// finished (abandoned attempts count as done at their deadline).
 	Started uint64
 	Done    uint64
-	// Failed counts tasks that returned an error; Panicked counts the
-	// subset recovered from a panic.
+	// Failed counts attempts that returned an error; Panicked counts the
+	// subset recovered from a panic; Retried counts the attempt re-runs
+	// the supervision layer scheduled for retryable failures.
 	Failed   uint64
 	Panicked uint64
+	Retried  uint64
 	// Busy is the summed wall-clock time spent inside task bodies.
 	Busy time.Duration
 }
 
-var (
-	ctrStarted  atomic.Uint64
-	ctrDone     atomic.Uint64
-	ctrFailed   atomic.Uint64
-	ctrPanicked atomic.Uint64
-	ctrBusyNS   atomic.Int64
-)
+// counterBlock is one generation of pool counters. All counters for one
+// attempt land in the block that was current when the attempt STARTED:
+// taskStarted captures the block and its completion hook writes back to
+// that same block, so Done can never exceed Started within a block and
+// Snapshot stays internally consistent even while sweeps are running.
+type counterBlock struct {
+	started, done, failed, panicked, retried atomic.Uint64
+	busyNS                                   atomic.Int64
+}
+
+// counters points at the current generation. ResetCounters swaps in a
+// fresh block instead of zeroing fields one by one — the old scheme let a
+// reset interleave with concurrent updates and produce impossible
+// snapshots (Done > Started).
+var counters atomic.Pointer[counterBlock]
+
+func init() { counters.Store(&counterBlock{}) }
 
 // Snapshot returns the pool's counters since process start (or the last
-// ResetCounters).
+// ResetCounters). Safe to call while sweeps are in flight: the returned
+// numbers are per-field atomic reads of the current generation, and
+// Done never exceeds Started.
 func Snapshot() Counters {
+	b := counters.Load()
 	return Counters{
-		Started:  ctrStarted.Load(),
-		Done:     ctrDone.Load(),
-		Failed:   ctrFailed.Load(),
-		Panicked: ctrPanicked.Load(),
-		Busy:     time.Duration(ctrBusyNS.Load()),
+		Started:  b.started.Load(),
+		Done:     b.done.Load(),
+		Failed:   b.failed.Load(),
+		Panicked: b.panicked.Load(),
+		Retried:  b.retried.Load(),
+		Busy:     time.Duration(b.busyNS.Load()),
 	}
 }
 
-// ResetCounters zeroes the pool counters (tests and per-invocation
-// accounting).
+// ResetCounters starts a fresh counter generation (tests and
+// per-invocation accounting). Safe under concurrent Map calls: attempts
+// already in flight finish accounting into the pre-reset generation and
+// are simply absent from post-reset snapshots, so two overlapping sweeps
+// never observe each other's partial accounting as an inconsistency.
+// Counters are process-wide, so overlapping sweeps that share a
+// generation see summed totals — per-sweep accounting needs a reset (or
+// delta snapshots) around each sweep.
 func ResetCounters() {
-	ctrStarted.Store(0)
-	ctrDone.Store(0)
-	ctrFailed.Store(0)
-	ctrPanicked.Store(0)
-	ctrBusyNS.Store(0)
+	counters.Store(&counterBlock{})
 }
 
-// taskStarted records a task start and returns the completion hook the
-// worker calls with the task's final error.
+// taskStarted records an attempt start and returns the completion hook
+// the worker calls with the attempt's final error. The hook writes to
+// the same counter generation the start was recorded in.
 func taskStarted(label string) func(err error) {
-	ctrStarted.Add(1)
+	b := counters.Load()
+	b.started.Add(1)
 	start := time.Now()
 	return func(err error) {
 		d := time.Since(start)
-		ctrDone.Add(1)
-		ctrBusyNS.Add(int64(d))
+		b.done.Add(1)
+		b.busyNS.Add(int64(d))
 		if err != nil {
-			ctrFailed.Add(1)
+			b.failed.Add(1)
 			if _, ok := err.(*PanicError); ok {
-				ctrPanicked.Add(1)
+				b.panicked.Add(1)
 			}
 		}
 		if p := reporter.Load(); p != nil {
@@ -95,11 +118,16 @@ func taskStarted(label string) func(err error) {
 	}
 }
 
-// WriterReporter streams one line per finished task to w, serialized by a
-// mutex so concurrent workers do not interleave partial lines.
+// WriterReporter streams one line per finished task attempt to w. All
+// state lives behind one mutex: writes are serialized (no interleaved
+// partial lines) and the [n] sequence number is incremented under the
+// same lock that prints it, so it is strictly increasing — the old
+// version read the global done-counter outside any critical section and
+// could stamp two concurrent lines with the same count.
 type WriterReporter struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu   sync.Mutex
+	w    io.Writer
+	done uint64
 }
 
 // NewWriterReporter builds a WriterReporter over w.
@@ -109,14 +137,13 @@ func NewWriterReporter(w io.Writer) *WriterReporter { return &WriterReporter{w: 
 func (r *WriterReporter) TaskDone(label string, d time.Duration, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	done := ctrDone.Load()
-	started := ctrStarted.Load()
+	r.done++
 	if label == "" {
 		label = "(task)"
 	}
 	if err != nil {
-		fmt.Fprintf(r.w, "[%d/%d] %s FAILED after %.2fs: %v\n", done, started, label, d.Seconds(), err)
+		fmt.Fprintf(r.w, "[%d] %s FAILED after %.2fs: %v\n", r.done, label, d.Seconds(), err)
 		return
 	}
-	fmt.Fprintf(r.w, "[%d/%d] %s %.2fs\n", done, started, label, d.Seconds())
+	fmt.Fprintf(r.w, "[%d] %s %.2fs\n", r.done, label, d.Seconds())
 }

@@ -1,21 +1,28 @@
 // Package runner is the experiment execution engine: a bounded worker
 // pool with deterministic result ordering, panic isolation, context
-// cancellation, and an on-disk memoization cache (cache.go) keyed by
+// cancellation, a supervision layer (per-task deadlines, bounded retry
+// with deterministic backoff, partial-results collection — supervise.go,
+// retry.go), and an on-disk memoization cache (cache.go) keyed by
 // experiment parameters. Every parameter sweep in internal/experiments
 // and internal/sim fans out through Map, which replaces the hand-rolled
 // sync.WaitGroup + semaphore pattern the experiments grew up with.
 //
 // Determinism is the design center: results are merged by task index, not
 // completion order, so a sweep produces byte-identical tables whether it
-// runs on one worker or sixteen (see experiments/determinism_test.go).
+// runs on one worker or sixteen (see experiments/determinism_test.go) —
+// and, with the supervision layer, whether or not transient faults were
+// retried along the way (see faultinject's chaos tests).
 package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
-	"runtime/debug"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Task is one unit of experiment work: a labelled closure computing a
@@ -46,26 +53,66 @@ func (p *PanicError) Error() string {
 	return fmt.Sprintf("runner: task %q panicked: %v", p.Label, p.Value)
 }
 
-// TaskError wraps a non-panic task failure with its label and index.
+// TaskError wraps a task failure with its label, index, and how many
+// attempts the supervision layer gave it before giving up.
 type TaskError struct {
-	Label string
-	Index int
-	Err   error
+	Label    string
+	Index    int
+	Attempts int
+	Err      error
 }
 
 // Error implements error.
 func (e *TaskError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("runner: task %d (%s) after %d attempts: %v", e.Index, e.Label, e.Attempts, e.Err)
+	}
 	return fmt.Sprintf("runner: task %d (%s): %v", e.Index, e.Label, e.Err)
 }
 
 // Unwrap exposes the underlying error.
 func (e *TaskError) Unwrap() error { return e.Err }
 
+// MultiError is the structured failure report of a partial-results Map:
+// one *TaskError per failed task, ordered by task index, plus the sweep
+// size for context. Successful tasks' results were still returned.
+type MultiError struct {
+	Failures []*TaskError
+	Total    int
+}
+
+// Error implements error.
+func (e *MultiError) Error() string {
+	if len(e.Failures) == 1 {
+		return fmt.Sprintf("runner: 1 of %d task(s) failed: %v", e.Total, e.Failures[0])
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "runner: %d of %d task(s) failed:", len(e.Failures), e.Total)
+	for _, f := range e.Failures {
+		b.WriteString("\n\t")
+		b.WriteString(f.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual task errors to errors.Is/As.
+func (e *MultiError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f
+	}
+	return errs
+}
+
 // Option configures one Map call.
 type Option func(*config)
 
 type config struct {
-	workers int
+	workers  int
+	deadline time.Duration
+	retries  int
+	backoff  time.Duration
+	partial  bool
 }
 
 // Workers caps the pool at n concurrent tasks instead of GOMAXPROCS.
@@ -75,6 +122,62 @@ func Workers(n int) Option {
 			c.workers = n
 		}
 	}
+}
+
+// Deadline bounds every task attempt to d of wall-clock time. A
+// cooperative task sees its context cancelled at the deadline; a wedged
+// one is abandoned so the sweep still completes (see runAttempt). Each
+// retry attempt gets a fresh deadline. d <= 0 disables the bound.
+func Deadline(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.deadline = d
+		}
+	}
+}
+
+// Retry grants every task up to n extra attempts after a failure marked
+// Retryable, sleeping an exponentially growing backoff (starting at
+// base, deterministic jitter seeded by task index — reruns are
+// byte-identical) between attempts. base <= 0 uses DefaultBackoff.
+// Errors not marked retryable, panics, and deadline expirations are
+// never retried.
+func Retry(n int, base time.Duration) Option {
+	return func(c *config) {
+		if n >= 0 {
+			c.retries = n
+		}
+		if base > 0 {
+			c.backoff = base
+		}
+	}
+}
+
+// PartialResults switches Map to graceful degradation: a task failure no
+// longer cancels the rest of the sweep. Every task runs, successful
+// results are returned in place, and the error (if any task failed) is a
+// *MultiError listing each failure with its label, index, and attempt
+// count. Entries whose task failed hold the zero value.
+func PartialResults() Option {
+	return func(c *config) { c.partial = true }
+}
+
+// defaultOptions is the process-wide option prefix applied to every Map
+// call before its own options. cmd/paperbench uses it to push the
+// -task-timeout/-retries/partial-results policy from its flags into
+// every experiment fan-out without threading options through each
+// experiment signature.
+var defaultOptions atomic.Pointer[[]Option]
+
+// SetDefaultOptions installs opts as the process-wide defaults applied
+// (first, so per-call options win) to every subsequent Map call. Call
+// with no arguments to clear.
+func SetDefaultOptions(opts ...Option) {
+	if len(opts) == 0 {
+		defaultOptions.Store(nil)
+		return
+	}
+	defaultOptions.Store(&opts)
 }
 
 // Map executes every task on a bounded worker pool and returns the
@@ -89,8 +192,18 @@ func Workers(n int) Option {
 // *PanicError; other failures are wrapped in *TaskError. The returned
 // slice always has len(tasks) entries; entries whose task failed or was
 // cancelled hold the zero value.
+//
+// The supervision options change that policy: Deadline bounds each
+// attempt, Retry re-runs attempts that failed with a Retryable error,
+// and PartialResults completes the whole sweep and aggregates failures
+// into a *MultiError instead of aborting on the first one.
 func Map[T any](ctx context.Context, tasks []Task[T], opts ...Option) ([]T, error) {
-	cfg := config{workers: runtime.GOMAXPROCS(0)}
+	cfg := config{workers: runtime.GOMAXPROCS(0), backoff: DefaultBackoff}
+	if d := defaultOptions.Load(); d != nil {
+		for _, o := range *d {
+			o(&cfg)
+		}
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -118,8 +231,8 @@ func Map[T any](ctx context.Context, tasks []Task[T], opts ...Option) ([]T, erro
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = runOne(ctx, tasks[i], &out[i])
-				if errs[i] != nil {
+				errs[i] = supervise(ctx, tasks[i], i, cfg, &out[i])
+				if errs[i] != nil && !cfg.partial {
 					cancel()
 				}
 			}
@@ -130,8 +243,8 @@ func Map[T any](ctx context.Context, tasks []Task[T], opts ...Option) ([]T, erro
 	// Because the channel is unbuffered, an index is fed only when a
 	// worker receives it — so when task k fails, every index below k has
 	// already been received and WILL run to completion (workers never
-	// abandon a received task). That makes the lowest-index error below
-	// deterministic even when several tasks fail.
+	// abandon a received task except at its own deadline). That makes the
+	// lowest-index error below deterministic even when several tasks fail.
 feed:
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
@@ -152,10 +265,13 @@ feed:
 	close(next)
 	wg.Wait()
 
-	// Deterministic error selection: the lowest-index real failure wins;
-	// bare cancellations only surface if nothing concrete failed first.
+	// Deterministic error selection. Fail-fast mode: the lowest-index real
+	// failure wins; bare cancellations only surface if nothing concrete
+	// failed first. Partial mode: every real failure is collected, in
+	// index order, into one MultiError.
 	var firstCancel error
-	for i, err := range errs {
+	var failures []*TaskError
+	for _, err := range errs {
 		if err == nil {
 			continue
 		}
@@ -165,38 +281,21 @@ feed:
 			}
 			continue
 		}
-		return out, &TaskError{Label: tasks[i].Label, Index: i, Err: err}
+		var te *TaskError
+		if !errors.As(err, &te) {
+			// supervise only ever returns *TaskError or a bare context
+			// error, but keep a defensive wrap for future error sources.
+			te = &TaskError{Label: "", Index: -1, Attempts: 1, Err: err}
+		}
+		if !cfg.partial {
+			return out, te
+		}
+		failures = append(failures, te)
+	}
+	if len(failures) > 0 {
+		return out, &MultiError{Failures: failures, Total: n}
 	}
 	return out, firstCancel
-}
-
-// runOne executes a single task with panic recovery and progress
-// accounting.
-func runOne[T any](ctx context.Context, t Task[T], out *T) (err error) {
-	stop := taskStarted(t.Label)
-	defer func() {
-		if r := recover(); r != nil {
-			err = &PanicError{Label: t.Label, Value: r, Stack: debug.Stack()}
-		}
-		stop(err)
-	}()
-	v, err := t.Run(ctx)
-	if err != nil {
-		return err
-	}
-	*out = v
-	return nil
-}
-
-// MustMap is Map for call sites with no error path of their own (the
-// experiment functions, whose signatures predate the runner): it panics
-// on error with the failed task's label attached.
-func MustMap[T any](ctx context.Context, tasks []Task[T], opts ...Option) []T {
-	out, err := Map(ctx, tasks, opts...)
-	if err != nil {
-		panic(err)
-	}
-	return out
 }
 
 // MapN runs f for every index in [0, n) — the common "sweep a slice"

@@ -157,14 +157,9 @@ func TestMapNLabels(t *testing.T) {
 	}
 }
 
-func TestMustMapPanicsOnError(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustMap must panic on task error")
-		}
-	}()
-	MustMap(context.Background(), intTasks(3, func(i int) (int, error) { return 0, errors.New("nope") }))
-}
+// MustMap is gone: every call site now handles Map's error (partial
+// results and failure summaries replaced panic-on-first-error); see
+// supervise_test.go for the supervision-layer coverage.
 
 type recordingReporter struct {
 	mu    chan struct{}

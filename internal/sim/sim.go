@@ -106,16 +106,21 @@ type SystemFactory func() assist.System
 // orders. Each run is independent and deterministic, and the runner merges
 // by task index, so parallelism does not perturb results. A panic in any
 // single run (a misconfigured system, say) is isolated by the pool and
-// re-raised here with the offending benchmark×system cell named.
-func Sweep(benches []*workload.Benchmark, systems []SystemFactory, opt Options) [][]Result {
+// returned as an error naming the offending benchmark×system cell; under
+// the runner's partial-results mode the error is a *runner.MultiError
+// listing every failed cell.
+func Sweep(benches []*workload.Benchmark, systems []SystemFactory, opt Options) ([][]Result, error) {
 	opt = opt.withDefaults()
 	ns := len(systems)
-	flat := runner.MustMap(context.Background(), sweepTasks(benches, systems, opt))
+	flat, err := runner.Map(context.Background(), sweepTasks(benches, systems, opt))
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]Result, len(benches))
 	for bi := range out {
 		out[bi] = flat[bi*ns : (bi+1)*ns : (bi+1)*ns]
 	}
-	return out
+	return out, nil
 }
 
 // sweepTasks flattens the benchmark×system grid row-major into pool tasks.

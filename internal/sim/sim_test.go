@@ -48,7 +48,10 @@ func TestSweepShape(t *testing.T) {
 		func() assist.System { return assist.MustNewBaseline(L1Config(), 0) },
 		func() assist.System { return victim.MustNew(L1Config(), 0, 8, victim.Traditional) },
 	}
-	res := Sweep(benches, systems, Options{Instructions: 10_000})
+	res, err := Sweep(benches, systems, Options{Instructions: 10_000})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
 	if len(res) != 3 || len(res[0]) != 2 {
 		t.Fatalf("sweep shape = %dx%d", len(res), len(res[0]))
 	}
@@ -72,9 +75,12 @@ func TestSweepMatchesSerialRuns(t *testing.T) {
 	b := workload.Carried()[0]
 	opt := Options{Instructions: 10_000}
 	serial := Run(b, assist.MustNewBaseline(L1Config(), 0), opt)
-	par := Sweep([]*workload.Benchmark{b}, []SystemFactory{
+	par, err := Sweep([]*workload.Benchmark{b}, []SystemFactory{
 		func() assist.System { return assist.MustNewBaseline(L1Config(), 0) },
 	}, opt)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
 	if par[0][0].CPU != serial.CPU {
 		t.Error("parallel sweep diverged from serial run")
 	}
