@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race ci bench bench-smoke chaos-smoke vulncheck fuzz clean-cache
+.PHONY: build vet test race ci bench bench-smoke chaos-smoke serve-smoke vulncheck fuzz clean-cache
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet race bench-smoke chaos-smoke vulncheck
+ci: vet race bench-smoke chaos-smoke serve-smoke vulncheck
 
 # Full hot-path benchmark sweep: the Go benchmarks for each package plus
 # the paperbench -bench report (BENCH_pr2.json). Use this for recorded
@@ -42,6 +42,16 @@ bench-smoke:
 # as a focused gate so a cached pass never masks a supervision regression.
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaos|TestKillAndResume|TestPartialFailureExitPolicy' ./cmd/paperbench ./internal/faultinject
+
+# Service smoke: boot mctd on an ephemeral port, hold 500 classify
+# requests in flight against a 512-slot admission gate, verify the
+# overflow bounces with 429 while memory stays bounded, run mctload
+# against the live daemon, then SIGTERM and assert a clean drain with
+# zero leaked goroutines — all under the race detector. `make race`
+# already runs this once; the focused -count=1 re-run keeps a cached
+# pass from masking a regression.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke|TestMctloadEndToEnd' -timeout 300s ./cmd/mctd ./cmd/mctload
 
 # Known-vulnerability scan, best effort: runs when govulncheck is on PATH
 # and never fails the build on environments without it (the container this

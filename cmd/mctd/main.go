@@ -1,0 +1,165 @@
+// Command mctd is the networked simulation service: it serves the MCT
+// classifier and the experiment sweeps over HTTP with bounded admission,
+// request batching, NDJSON result streaming, on-disk memoization shared
+// with cmd/paperbench, and graceful drain on SIGTERM/SIGINT.
+//
+//	mctd -listen :8047
+//	curl -s localhost:8047/v1/classify -H 'Content-Type: application/json' \
+//	     -d '{"workload":"gcc","accesses":100000}'
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(mctdMain(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// mctdMain runs the daemon until a shutdown signal lands and the drain
+// completes. ready, when non-nil, receives the bound listen address once
+// the server is accepting — tests listen on an ephemeral port and need
+// to learn which.
+func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("mctd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen    = fs.String("listen", ":8047", "listen address")
+		capacity  = fs.Int("capacity", 64, "max in-flight requests (admission bound)")
+		waiters   = fs.Int("waiters", -1, "max requests briefly queued for a slot (-1 = same as capacity, 0 = none)")
+		perClient = fs.Int("per-client", 0, "max in-flight requests per client (0 = no per-client cap)")
+		admitWait = fs.Duration("admit-wait", 100*time.Millisecond, "how long a queued request may wait for a slot")
+
+		batchSize = fs.Int("batch", 8, "classify batch size")
+		batchWait = fs.Duration("batch-wait", 2*time.Millisecond, "how long a batch waits for company")
+
+		cacheDir = fs.String("cachedir", runner.DefaultCacheDir, "on-disk result cache directory (shared with paperbench)")
+		noCache  = fs.Bool("nocache", false, "disable the result cache")
+		ckptDir  = fs.String("checkpointdir", runner.DefaultCheckpointDir, "sweep checkpoint directory")
+
+		maxRecords  = fs.Uint64("max-records", 10_000_000, "max records in an uploaded trace (0 = unlimited)")
+		maxBytes    = fs.Uint64("max-bytes", 1<<28, "max bytes in an uploaded trace (0 = unlimited)")
+		maxAccesses = fs.Uint64("max-accesses", 5_000_000, "max accesses in a classify spec")
+
+		taskTimeout  = fs.Duration("task-timeout", 0, "per-task attempt deadline (0 = unbounded)")
+		retries      = fs.Int("retries", 2, "extra attempts per task for failures marked transient")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Flag semantics (-1 = match capacity, 0 = no waiting room) differ
+	// from Config's (0 = default to capacity, negative = none).
+	maxWaiters := *waiters
+	switch {
+	case maxWaiters < 0:
+		maxWaiters = 0
+	case maxWaiters == 0:
+		maxWaiters = -1
+	}
+
+	// Experiments fan out internally through runner.Map with the
+	// process-wide defaults; give those inner pools the same supervision
+	// policy the service applies to its own job-level fan-outs.
+	runner.SetDefaultOptions(runner.PartialResults(), runner.Retry(*retries, runner.DefaultBackoff))
+	defer runner.SetDefaultOptions()
+
+	svc := service.New(service.Config{
+		Capacity:        *capacity,
+		MaxWaiters:      maxWaiters,
+		PerClient:       *perClient,
+		AdmitWait:       *admitWait,
+		BatchSize:       *batchSize,
+		BatchWait:       *batchWait,
+		CacheDir:        *cacheDir,
+		NoCache:         *noCache,
+		CheckpointDir:   *ckptDir,
+		Limits:          trace.Limits{MaxRecords: *maxRecords, MaxBytes: *maxBytes},
+		MaxSpecAccesses: *maxAccesses,
+		TaskTimeout:     *taskTimeout,
+		Retries:         *retries,
+	})
+	if c := svc.Cache(); c != nil {
+		c.SetLogf(func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) })
+	}
+	// Publish the service's metrics into the process-global expvar
+	// registry (idempotently: tests boot mctdMain more than once per
+	// process, and expvar.Publish panics on duplicates).
+	if expvar.Get("mct") == nil {
+		expvar.Publish("mct", svc.Vars())
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(stderr, "mctd:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "mctd: listening on %s (capacity %d, cache %s)\n", ln.Addr(), *capacity, cacheDisplay(*noCache, *cacheDir))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "mctd: %v: draining (timeout %s)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "mctd:", err)
+		return 1
+	}
+
+	// Graceful drain: shut the admission gate first (healthz flips to 503
+	// and new work bounces), then let in-flight HTTP requests finish, then
+	// wait for the service to report idle and stop the batcher.
+	svc.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "mctd: shutdown:", err)
+		code = 1
+	}
+	if err := svc.Drain(ctx); err != nil {
+		fmt.Fprintln(stderr, "mctd:", err)
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "mctd:", err)
+		code = 1
+	}
+	if code == 0 {
+		fmt.Fprintln(stderr, "mctd: drained cleanly")
+	}
+	_ = stdout
+	return code
+}
+
+func cacheDisplay(noCache bool, dir string) string {
+	if noCache {
+		return "disabled"
+	}
+	return dir
+}

@@ -1,0 +1,81 @@
+// Command mctload is the load-generator client for mctd: it drives
+// concurrent mixed classify/sweep traffic at a target (or closed-loop)
+// rate, reports latency percentiles and error rates, and writes the
+// machine-readable BENCH_pr4.json snapshot.
+//
+// Usage:
+//
+//	mctd -listen :8047 &
+//	mctload -url http://127.0.0.1:8047 -duration 10s -concurrency 16
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	os.Exit(mctloadMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func mctloadMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mctload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url         = fs.String("url", "http://127.0.0.1:8047", "mctd base URL")
+		duration    = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		concurrency = fs.Int("concurrency", 8, "worker-fleet size (closed-loop)")
+		qps         = fs.Float64("qps", 0, "aggregate target QPS (0 = unpaced closed loop)")
+		mix         = fs.Float64("mix", 0.9, "fraction of requests that are classifies (rest are sweeps)")
+		seed        = fs.Uint64("seed", 1, "traffic-pattern seed")
+		out         = fs.String("out", "BENCH_pr4.json", "machine-readable report path (empty = skip)")
+		quiet       = fs.Bool("quiet", false, "suppress the result table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:          *url,
+		Concurrency:      *concurrency,
+		Duration:         *duration,
+		QPS:              *qps,
+		ClassifyFraction: *mix,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mctload:", err)
+		return 1
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintln(stderr, "mctload: no requests completed — is mctd running at", *url, "?")
+		return 1
+	}
+
+	if !*quiet {
+		fmt.Fprintln(stdout, report.Table().String())
+	}
+	if *out != "" {
+		if err := report.WriteJSON(*out); err != nil {
+			fmt.Fprintln(stderr, "mctload:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "(report written to %s)\n", *out)
+	}
+
+	// A run whose every request failed is a failed run, even though
+	// individual failures are data.
+	for _, r := range report.Results {
+		if r.Name == "total" && r.Errors == r.Requests {
+			fmt.Fprintln(stderr, "mctload: every request failed")
+			return 1
+		}
+	}
+	return 0
+}

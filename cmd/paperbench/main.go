@@ -205,9 +205,21 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		defer runner.SetReporter(nil)
 	}
 
+	// Validate the selection against the experiment registry before running
+	// anything: a typo'd -experiment must fail loudly with the valid names,
+	// not silently run nothing. The same validation guards the service's
+	// sweep endpoint (internal/service), so the two front ends agree on
+	// what exists.
+	var selection []string
 	wanted := map[string]bool{}
 	for _, w := range strings.Split(*which, ",") {
-		wanted[strings.TrimSpace(w)] = true
+		w = strings.TrimSpace(w)
+		selection = append(selection, w)
+		wanted[w] = true
+	}
+	if err := experiments.ValidateSelection(selection); err != nil {
+		fmt.Fprintln(stderr, "paperbench:", err)
+		return 2
 	}
 	all := wanted["all"]
 
@@ -459,7 +471,9 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 	})
 
 	if ran == 0 {
-		fmt.Fprintf(stderr, "paperbench: unknown experiment %q\n", *which)
+		// Unreachable for registry-validated selections, but kept as a
+		// defensive gate: the run must never "succeed" having run nothing.
+		fmt.Fprintf(stderr, "paperbench: selection %q ran no experiments\n", *which)
 		fs.Usage()
 		return 2
 	}

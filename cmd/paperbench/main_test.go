@@ -91,13 +91,30 @@ func TestNoCacheBypassesDisk(t *testing.T) {
 }
 
 // TestUnknownExperimentExitCode keeps the CLI contract: an unknown
-// -experiment value is a usage error.
+// -experiment value is a usage error naming the valid selections, and a
+// selection mixing valid and invalid names runs nothing rather than
+// silently dropping the typo.
 func TestUnknownExperimentExitCode(t *testing.T) {
 	var out, errB bytes.Buffer
 	if code := paperbenchMain([]string{"-experiment", "nonsense"}, &out, &errB); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
 	}
-	if !strings.Contains(errB.String(), "unknown experiment") {
+	if !strings.Contains(errB.String(), `unknown experiment "nonsense"`) {
 		t.Errorf("missing diagnostic, stderr:\n%s", errB.String())
+	}
+	if !strings.Contains(errB.String(), "valid:") || !strings.Contains(errB.String(), "fig1") {
+		t.Errorf("diagnostic must list the valid experiment names, stderr:\n%s", errB.String())
+	}
+
+	out.Reset()
+	errB.Reset()
+	if code := paperbenchMain([]string{"-quick", "-experiment", "fig2,nope"}, &out, &errB); code != 2 {
+		t.Fatalf("mixed valid+invalid selection: exit code %d, want 2", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("mixed selection must run nothing, but stdout has:\n%s", out.String())
+	}
+	if !strings.Contains(errB.String(), `unknown experiment "nope"`) {
+		t.Errorf("missing diagnostic for the typo, stderr:\n%s", errB.String())
 	}
 }

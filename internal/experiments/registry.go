@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Artifact is one entry in the experiment registry: a canonical slug, the
+// selection names that reach it (some artifacts render several of the
+// paper's figures — fig3 also produces table1 — so they answer to several
+// names), and a type-erased runner. The registry is the shared source of
+// truth for "what experiments exist": cmd/paperbench validates its
+// -experiment flag against it and the mctd sweep endpoint both validates
+// and executes through it, so the two front ends can never drift apart.
+type Artifact struct {
+	// Slug is the canonical name, also the memoization-cache slug.
+	Slug string
+	// Names are the selection names that run this artifact (Slug included).
+	Names []string
+	// Run executes the artifact at the given scale. The result is the
+	// artifact's ordinary typed result value (Fig1Result etc.), returned as
+	// any so callers that only encode it — the service, the cache — need no
+	// per-artifact types.
+	Run func(Params) (any, error)
+}
+
+// SelectAll is the selection name that runs every artifact.
+const SelectAll = "all"
+
+// artifacts lists every runnable artifact in paperbench's reporting order.
+var artifacts = []Artifact{
+	{Slug: "fig1", Names: []string{"fig1"}, Run: func(p Params) (any, error) { return Figure1(p) }},
+	{Slug: "fig2", Names: []string{"fig2"}, Run: func(p Params) (any, error) { return Figure2(p) }},
+	{Slug: "fig3", Names: []string{"fig3", "table1"}, Run: func(p Params) (any, error) { return Figure3(p) }},
+	{Slug: "fig4", Names: []string{"fig4"}, Run: func(p Params) (any, error) { return Figure4(p) }},
+	{Slug: "fig5", Names: []string{"fig5"}, Run: func(p Params) (any, error) { return Figure5(p) }},
+	{Slug: "pseudo", Names: []string{"pseudo"}, Run: func(p Params) (any, error) { return PseudoAssoc(p) }},
+	{Slug: "fig6", Names: []string{"fig6", "fig7"}, Run: func(p Params) (any, error) { return Figure6(p) }},
+	{Slug: "replacement", Names: []string{"replacement"}, Run: func(p Params) (any, error) { return Replacement(p) }},
+	{Slug: "remap", Names: []string{"remap"}, Run: func(p Params) (any, error) { return Remap(p) }},
+	{Slug: "depth", Names: []string{"depth"}, Run: func(p Params) (any, error) { return MCTDepth(p) }},
+	{Slug: "smt", Names: []string{"smt"}, Run: func(p Params) (any, error) { return SMTStudy(p) }},
+	{Slug: "icache", Names: []string{"icache"}, Run: func(p Params) (any, error) { return ICacheStudy(p) }},
+	{Slug: "sweep", Names: []string{"sweep"}, Run: func(p Params) (any, error) { return ConfigSweep(p) }},
+	{Slug: "cosched", Names: []string{"cosched"}, Run: func(p Params) (any, error) { return CoSchedule(p) }},
+}
+
+// Artifacts returns the registry in reporting order. The slice is shared;
+// callers must not mutate it.
+func Artifacts() []Artifact { return artifacts }
+
+// SelectionNames returns every valid selection name (SelectAll plus all
+// artifact names), sorted.
+func SelectionNames() []string {
+	out := []string{SelectAll}
+	for _, a := range artifacts {
+		out = append(out, a.Names...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateSelection checks every requested name against the registry and
+// reports the first unknown one along with the full valid list — the
+// shared guard that keeps both paperbench and the service's sweep
+// endpoint from silently running nothing on a typo.
+func ValidateSelection(names []string) error {
+	valid := map[string]bool{SelectAll: true}
+	for _, a := range artifacts {
+		for _, n := range a.Names {
+			valid[n] = true
+		}
+	}
+	for _, n := range names {
+		if !valid[n] {
+			return fmt.Errorf("unknown experiment %q (valid: %s)", n, strings.Join(SelectionNames(), ", "))
+		}
+	}
+	return nil
+}
+
+// Select resolves a set of selection names to the artifacts they run, in
+// registry order and without duplicates (fig3 and table1 select the same
+// artifact once). It validates first, so an unknown name errors rather
+// than selecting nothing.
+func Select(names []string) ([]Artifact, error) {
+	if err := ValidateSelection(names); err != nil {
+		return nil, err
+	}
+	wanted := map[string]bool{}
+	for _, n := range names {
+		wanted[n] = true
+	}
+	var out []Artifact
+	for _, a := range artifacts {
+		hit := wanted[SelectAll]
+		for _, n := range a.Names {
+			hit = hit || wanted[n]
+		}
+		if hit {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// RunArtifact runs the artifact with the given canonical slug.
+func RunArtifact(slug string, p Params) (any, error) {
+	for _, a := range artifacts {
+		if a.Slug == slug {
+			return a.Run(p)
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q (valid: %s)", slug, strings.Join(SelectionNames(), ", "))
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateSelection(t *testing.T) {
+	if err := ValidateSelection([]string{"all"}); err != nil {
+		t.Errorf("all: %v", err)
+	}
+	if err := ValidateSelection([]string{"fig2", "table1", "cosched"}); err != nil {
+		t.Errorf("valid names rejected: %v", err)
+	}
+	err := ValidateSelection([]string{"fig2", "fig99"})
+	if err == nil {
+		t.Fatal("fig99 accepted")
+	}
+	if !strings.Contains(err.Error(), `"fig99"`) || !strings.Contains(err.Error(), "fig1") {
+		t.Errorf("error must name the typo and the valid list, got: %v", err)
+	}
+}
+
+func TestSelectResolvesAliasesWithoutDuplicates(t *testing.T) {
+	got, err := Select([]string{"fig3", "table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Slug != "fig3" {
+		t.Fatalf("Select(fig3, table1) = %+v, want the single fig3 artifact", got)
+	}
+
+	all, err := Select([]string{SelectAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Artifacts()) {
+		t.Fatalf("Select(all) resolved %d artifacts, want %d", len(all), len(Artifacts()))
+	}
+}
+
+func TestRunArtifactExecutes(t *testing.T) {
+	v, err := RunArtifact("fig2", Params{MemAccesses: 2000, Instructions: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.(Fig2Result); !ok {
+		t.Fatalf("RunArtifact(fig2) returned %T, want Fig2Result", v)
+	}
+	if _, err := RunArtifact("bogus", Params{}); err == nil {
+		t.Fatal("bogus slug accepted")
+	}
+}

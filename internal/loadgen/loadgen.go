@@ -1,0 +1,243 @@
+// Package loadgen is a closed-loop load generator for the mctd service:
+// a fixed fleet of workers drives mixed classify/sweep traffic at either
+// the maximum closed-loop rate or a target QPS, measuring per-request
+// latency and error rates. cmd/mctload wraps it as a CLI and writes the
+// BENCH_pr4.json report.
+//
+// "Closed loop" means each worker issues its next request only after the
+// previous one completes — offered load adapts to service latency, so an
+// overloaded service sees backpressure (and its 429s show up in the
+// by-status counts) instead of an unbounded request pile-up inside the
+// generator.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// BaseURL is the mctd instance, e.g. "http://127.0.0.1:8047".
+	BaseURL string
+	// Concurrency is the worker-fleet size.
+	Concurrency int
+	// Duration bounds the run.
+	Duration time.Duration
+	// QPS, when positive, paces the fleet at this aggregate rate via a
+	// shared ticker; zero runs the pure closed loop (as fast as the
+	// service answers).
+	QPS float64
+	// ClassifyFraction is the share of requests that are classifies (the
+	// rest are sweeps). Default 0.9: classify is the cheap, frequent op.
+	ClassifyFraction float64
+	// Seed makes the traffic pattern reproducible.
+	Seed uint64
+	// Client overrides the HTTP client (tests inject the httptest one).
+	Client *http.Client
+	// Variants is how many distinct parameterizations each traffic class
+	// cycles through (distinct cache keys server-side). Default 4: the
+	// first wave computes, the rest replay — a realistic warm-cache mix.
+	Variants int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.ClassifyFraction <= 0 || c.ClassifyFraction > 1 {
+		c.ClassifyFraction = 0.9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if c.Variants <= 0 {
+		c.Variants = 4
+	}
+	return c
+}
+
+// sample is one completed request.
+type sample struct {
+	class   string // "classify" | "sweep"
+	status  int    // 0 on transport error
+	latency time.Duration
+	err     bool
+}
+
+// splitmix64 is the same deterministic PRNG step the runner uses for
+// retry jitter; here it decorrelates per-worker traffic choices.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Run drives the fleet until cfg.Duration elapses (or ctx cancels) and
+// returns the aggregated report. The error is non-nil only for setup
+// failures; request failures are data, not errors.
+func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return perf.LoadReport{}, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	names := workload.Names()
+	if len(names) == 0 {
+		return perf.LoadReport{}, fmt.Errorf("loadgen: no workloads registered")
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// Optional pacing: a shared ticker hands out send permits at the
+	// aggregate target rate. Closed loop otherwise.
+	var permits <-chan time.Time
+	if cfg.QPS > 0 {
+		interval := time.Duration(float64(time.Second) / cfg.QPS)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		permits = t.C
+	}
+
+	samples := make(chan sample, 1024)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := splitmix64(cfg.Seed + uint64(id)*0x9e37)
+			for {
+				if runCtx.Err() != nil {
+					return
+				}
+				if permits != nil {
+					select {
+					case <-permits:
+					case <-runCtx.Done():
+						return
+					}
+				}
+				rng = splitmix64(rng)
+				samples <- cfg.oneRequest(runCtx, rng, names, id)
+			}
+		}(w)
+	}
+
+	// Collect until the fleet drains.
+	done := make(chan struct{})
+	var collected []sample
+	go func() {
+		defer close(done)
+		for s := range samples {
+			collected = append(collected, s)
+		}
+	}()
+	wg.Wait()
+	close(samples)
+	<-done
+	elapsed := time.Since(start)
+
+	return perf.NewLoadReport(cfg.BaseURL, elapsed, cfg.Concurrency, cfg.QPS,
+		aggregate(collected, elapsed)), nil
+}
+
+// oneRequest issues a single classify or sweep and measures it. A
+// context cancellation mid-request (the run ending) is not counted as a
+// service error.
+func (c Config) oneRequest(ctx context.Context, rng uint64, names []string, worker int) sample {
+	variant := rng % uint64(c.Variants)
+	isClassify := float64(rng%1000)/1000.0 < c.ClassifyFraction
+
+	var url, body, class string
+	if isClassify {
+		class = "classify"
+		url = c.BaseURL + "/v1/classify"
+		body = fmt.Sprintf(`{"workload":%q,"accesses":%d,"size_kb":8,"emit":"summary"}`,
+			names[int(rng/7)%len(names)], 4000+variant*1000)
+	} else {
+		class = "sweep"
+		url = c.BaseURL + "/v1/sweep"
+		body = fmt.Sprintf(`{"experiments":["fig2"],"accesses":%d,"instructions":%d}`,
+			4000+variant*1000, 4000+variant*1000)
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return sample{class: class, err: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Mct-Client", fmt.Sprintf("mctload-%d", worker))
+
+	t0 := time.Now()
+	resp, err := c.Client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return sample{class: class, status: -1} // run ended; discard below
+		}
+		return sample{class: class, err: true, latency: time.Since(t0)}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lat := time.Since(t0)
+	return sample{class: class, status: resp.StatusCode, latency: lat,
+		err: resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable}
+}
+
+// aggregate folds samples into per-class results plus a total.
+func aggregate(samples []sample, elapsed time.Duration) []perf.LoadResult {
+	classes := map[string][]sample{}
+	for _, s := range samples {
+		if s.status == -1 {
+			continue // request torn down by the run ending, not a data point
+		}
+		classes[s.class] = append(classes[s.class], s)
+		classes["total"] = append(classes["total"], s)
+	}
+	order := []string{"classify", "sweep", "total"}
+	var out []perf.LoadResult
+	for _, name := range order {
+		ss := classes[name]
+		if len(ss) == 0 {
+			continue
+		}
+		res := perf.LoadResult{Name: name, ByStatus: map[string]uint64{}}
+		lats := make([]time.Duration, 0, len(ss))
+		for _, s := range ss {
+			res.Requests++
+			if s.err {
+				res.Errors++
+			}
+			key := "transport_error"
+			if s.status > 0 {
+				key = fmt.Sprint(s.status)
+			}
+			res.ByStatus[key]++
+			lats = append(lats, s.latency)
+		}
+		if sec := elapsed.Seconds(); sec > 0 {
+			res.Throughput = float64(res.Requests) / sec
+		}
+		res.Latency = perf.SummarizeLatency(lats)
+		out = append(out, res)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// LoadReportSchema versions the BENCH load-test JSON format (written by
+// cmd/mctload as BENCH_pr4.json).
+const LoadReportSchema = 1
+
+// Latency summarizes a latency sample set in milliseconds.
+type Latency struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Percentile returns the q-quantile (0 <= q <= 1) of sorted (ascending)
+// samples using nearest-rank; zero when empty.
+func Percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// SummarizeLatency sorts samples in place and extracts the summary.
+func SummarizeLatency(samples []time.Duration) Latency {
+	if len(samples) == 0 {
+		return Latency{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Latency{
+		Count:  uint64(len(samples)),
+		MeanMs: ms(sum) / float64(len(samples)),
+		P50Ms:  ms(Percentile(samples, 0.50)),
+		P90Ms:  ms(Percentile(samples, 0.90)),
+		P99Ms:  ms(Percentile(samples, 0.99)),
+		MaxMs:  ms(samples[len(samples)-1]),
+	}
+}
+
+// LoadResult is one endpoint's (or the total's) load-test outcome.
+type LoadResult struct {
+	// Name identifies the traffic class ("classify", "sweep", "total").
+	Name string `json:"name"`
+	// Requests completed (any response); Errors are transport failures
+	// plus 5xx responses. Rejections (429/503) are visible in ByStatus —
+	// under overload they are the admission controller doing its job, not
+	// errors.
+	Requests uint64            `json:"requests"`
+	Errors   uint64            `json:"errors"`
+	ByStatus map[string]uint64 `json:"by_status,omitempty"`
+	// Throughput is completed requests per second of test wall time.
+	Throughput float64 `json:"throughput_rps"`
+	Latency    Latency `json:"latency"`
+}
+
+// LoadReport is the full load-test snapshot written to BENCH_pr4.json.
+type LoadReport struct {
+	Schema      int     `json:"schema"`
+	CodeVersion string  `json:"code_version"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Target      string  `json:"target"`
+	DurationSec float64 `json:"duration_sec"`
+	Concurrency int     `json:"concurrency"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+
+	Results []LoadResult `json:"results"`
+}
+
+// NewLoadReport stamps results with the environment, mirroring NewReport.
+func NewLoadReport(target string, duration time.Duration, concurrency int, qps float64, results []LoadResult) LoadReport {
+	return LoadReport{
+		Schema:      LoadReportSchema,
+		CodeVersion: runner.CodeVersion(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Target:      target,
+		DurationSec: duration.Seconds(),
+		Concurrency: concurrency,
+		TargetQPS:   qps,
+		Results:     results,
+	}
+}
+
+// WriteJSON writes the report to path, indented for diffability.
+func (r LoadReport) WriteJSON(path string) error {
+	return writeJSONFile(path, r)
+}
+
+// Table renders the load report in the house table style.
+func (r LoadReport) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Load test: %s (%.1fs, %d workers)", r.Target, r.DurationSec, r.Concurrency),
+		"traffic", "reqs", "rps", "errs", "p50 ms", "p90 ms", "p99 ms", "max ms")
+	for _, res := range r.Results {
+		t.AddRow(res.Name,
+			fmt.Sprint(res.Requests),
+			fmt.Sprintf("%.1f", res.Throughput),
+			fmt.Sprint(res.Errors),
+			fmt.Sprintf("%.2f", res.Latency.P50Ms),
+			fmt.Sprintf("%.2f", res.Latency.P90Ms),
+			fmt.Sprintf("%.2f", res.Latency.P99Ms),
+			fmt.Sprintf("%.2f", res.Latency.MaxMs))
+	}
+	return t
+}

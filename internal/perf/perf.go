@@ -201,7 +201,12 @@ func NewReport(components []Result) Report {
 
 // WriteJSON writes the report to path, indented for diffability.
 func (r Report) WriteJSON(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
+	return writeJSONFile(path, r)
+}
+
+// writeJSONFile writes any report type to path, indented, newline-terminated.
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("perf: encoding report: %w", err)
 	}

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestContextOptionsScopeToTheirMap checks that WithOptions affects only
+// Map calls given that context: two concurrent sweeps with different
+// job-scoped policies must not see each other's options.
+func TestContextOptionsScopeToTheirMap(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := func(failAt int) []Task[int] {
+		out := make([]Task[int], 4)
+		for i := range out {
+			i := i
+			out[i] = NewTask(fmt.Sprintf("t%d", i), func(context.Context) (int, error) {
+				if i == failAt {
+					return 0, boom
+				}
+				return i, nil
+			})
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var partialErr, fastErr error
+	go func() {
+		defer wg.Done()
+		ctx := WithOptions(context.Background(), PartialResults())
+		_, partialErr = Map(ctx, tasks(1))
+	}()
+	go func() {
+		defer wg.Done()
+		_, fastErr = Map(context.Background(), tasks(1))
+	}()
+	wg.Wait()
+
+	var me *MultiError
+	if !errors.As(partialErr, &me) {
+		t.Fatalf("job with context-scoped PartialResults: err = %T %v, want *MultiError", partialErr, partialErr)
+	}
+	var te *TaskError
+	if !errors.As(fastErr, &te) || errors.As(fastErr, &me) {
+		t.Fatalf("job without context options: err = %T %v, want bare *TaskError", fastErr, fastErr)
+	}
+}
+
+// TestContextOptionsPrecedence pins the layering: process defaults, then
+// context options, then per-call options — later wins.
+func TestContextOptionsPrecedence(t *testing.T) {
+	SetDefaultOptions(Retry(0, time.Millisecond))
+	defer SetDefaultOptions()
+
+	attempts := 0
+	task := []Task[int]{NewTask("flaky", func(context.Context) (int, error) {
+		attempts++
+		if attempts < 3 {
+			return 0, Retryable(errors.New("transient"))
+		}
+		return 42, nil
+	})}
+
+	// Context grants 1 retry, per-call raises it to 2: the task needs two
+	// retries, so success proves the per-call option won.
+	ctx := WithOptions(context.Background(), Workers(1), Retry(1, time.Millisecond))
+	out, err := Map(ctx, task, Retry(2, time.Millisecond))
+	if err != nil || out[0] != 42 {
+		t.Fatalf("Map = %v, %v; want [42], nil (per-call Retry(2) must override context Retry(1))", out, err)
+	}
+
+	// Same context without the per-call override: only 1 retry, so the
+	// task fails — proving the context option overrode... the default's 0
+	// retries but was not silently widened.
+	attempts = 0
+	if _, err := Map(ctx, task); err == nil {
+		t.Fatal("Map with context Retry(1) succeeded; want failure after 2 attempts")
+	}
+}
+
+// TestWithOptionsCompose checks nested WithOptions accumulate instead of
+// replacing.
+func TestWithOptionsCompose(t *testing.T) {
+	boom := errors.New("boom")
+	ctx := WithOptions(context.Background(), PartialResults())
+	ctx = WithOptions(ctx, Retry(1, time.Millisecond))
+
+	attempts := 0
+	_, err := Map(ctx, []Task[int]{NewTask("flaky", func(context.Context) (int, error) {
+		attempts++
+		if attempts == 1 {
+			return 0, Retryable(boom)
+		}
+		return 1, nil
+	}), NewTask("dead", func(context.Context) (int, error) {
+		return 0, boom
+	})})
+
+	if attempts != 2 {
+		t.Fatalf("flaky task ran %d attempt(s), want 2 (inner Retry option lost?)", attempts)
+	}
+	var me *MultiError
+	if !errors.As(err, &me) || len(me.Failures) != 1 {
+		t.Fatalf("err = %T %v, want *MultiError with 1 failure (outer PartialResults option lost?)", err, err)
+	}
+}

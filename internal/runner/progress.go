@@ -71,16 +71,25 @@ func init() { counters.Store(&counterBlock{}) }
 // ResetCounters). Safe to call while sweeps are in flight: the returned
 // numbers are per-field atomic reads of the current generation, and
 // Done never exceeds Started.
+//
+// The reads happen in REVERSE increment order (an attempt bumps
+// started, then done, then failed, then panicked): attempts finishing
+// between two loads can then only inflate the later-read, earlier-
+// incremented counter, so every pairwise invariant (Panicked <= Failed
+// <= Done <= Started) holds in the returned snapshot. Reading started
+// first let a burst of short tasks complete between the started and
+// done loads and produce Done > Started.
 func Snapshot() Counters {
 	b := counters.Load()
-	return Counters{
-		Started:  b.started.Load(),
-		Done:     b.done.Load(),
-		Failed:   b.failed.Load(),
-		Panicked: b.panicked.Load(),
+	c := Counters{
 		Retried:  b.retried.Load(),
 		Busy:     time.Duration(b.busyNS.Load()),
+		Panicked: b.panicked.Load(),
 	}
+	c.Failed = b.failed.Load()
+	c.Done = b.done.Load()
+	c.Started = b.started.Load()
+	return c
 }
 
 // ResetCounters starts a fresh counter generation (tests and

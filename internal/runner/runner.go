@@ -180,6 +180,36 @@ func SetDefaultOptions(opts ...Option) {
 	defaultOptions.Store(&opts)
 }
 
+// ctxOptionsKey carries context-scoped options (WithOptions).
+type ctxOptionsKey struct{}
+
+// WithOptions returns a context carrying opts. Every Map call handed the
+// context applies them after the process-wide SetDefaultOptions prefix
+// and before the call's own options, so a caller several layers above a
+// fan-out — a service executing one client's job, say — can scope a
+// supervision policy (deadline, retries, partial results) to that job
+// without mutating process-wide state or threading options through every
+// signature in between. Nested WithOptions calls compose: the outer
+// context's options apply first, then the inner's.
+func WithOptions(ctx context.Context, opts ...Option) context.Context {
+	if len(opts) == 0 {
+		return ctx
+	}
+	if prev, ok := ctx.Value(ctxOptionsKey{}).([]Option); ok {
+		merged := make([]Option, 0, len(prev)+len(opts))
+		merged = append(merged, prev...)
+		merged = append(merged, opts...)
+		opts = merged
+	}
+	return context.WithValue(ctx, ctxOptionsKey{}, opts)
+}
+
+// contextOptions returns the options attached by WithOptions, if any.
+func contextOptions(ctx context.Context) []Option {
+	opts, _ := ctx.Value(ctxOptionsKey{}).([]Option)
+	return opts
+}
+
 // Map executes every task on a bounded worker pool and returns the
 // results in task order, regardless of completion order. The pool size
 // defaults to GOMAXPROCS (the hardware parallelism Go was granted), so
@@ -203,6 +233,9 @@ func Map[T any](ctx context.Context, tasks []Task[T], opts ...Option) ([]T, erro
 		for _, o := range *d {
 			o(&cfg)
 		}
+	}
+	for _, o := range contextOptions(ctx) {
+		o(&cfg)
 	}
 	for _, o := range opts {
 		o(&cfg)

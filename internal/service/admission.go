@@ -1,0 +1,211 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission errors. HTTP handlers map these to status codes (statusFor):
+// capacity and fairness rejections are 429 (the client should back off
+// and retry), draining is 503 (the process is going away; retry against
+// another instance).
+var (
+	// ErrBusy reports that the service is at capacity and the bounded
+	// waiter queue is also full — the backpressure signal.
+	ErrBusy = errors.New("service: at capacity, try again later")
+	// ErrClientBusy reports that this client already holds its fair share
+	// of in-flight requests; other clients' slots are protected from it.
+	ErrClientBusy = errors.New("service: per-client in-flight limit reached")
+	// ErrDraining reports that the service is shutting down and admits no
+	// new work.
+	ErrDraining = errors.New("service: draining, not accepting new work")
+)
+
+// admission is the bounded front door: at most capacity requests are
+// in-flight at once, at most maxWaiters more may block waiting for a
+// slot (briefly — admitWait bounds the wait), and no single client may
+// hold more than perClient slots. Everything beyond those bounds is
+// rejected immediately, so memory stays proportional to the configured
+// capacity no matter the offered load.
+type admission struct {
+	sem        chan struct{} // buffered to capacity; send = acquire
+	admitWait  time.Duration
+	perClient  int
+	maxWaiters int
+
+	mu       sync.Mutex
+	byClient map[string]int
+	waiters  int
+	peak     int // high-water mark of concurrently admitted requests
+
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	// Counters for /metrics.
+	accepted       atomic.Uint64
+	rejectedFull   atomic.Uint64
+	rejectedClient atomic.Uint64
+	rejectedDrain  atomic.Uint64
+}
+
+func newAdmission(capacity, maxWaiters, perClient int, admitWait time.Duration) *admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxWaiters < 0 {
+		maxWaiters = 0
+	}
+	if perClient <= 0 || perClient > capacity {
+		perClient = capacity
+	}
+	return &admission{
+		sem:        make(chan struct{}, capacity),
+		admitWait:  admitWait,
+		perClient:  perClient,
+		maxWaiters: maxWaiters,
+		byClient:   map[string]int{},
+	}
+}
+
+// Admit reserves an in-flight slot for client, blocking at most admitWait
+// (and only if a bounded waiter slot is free). On success it returns a
+// release function that MUST be called exactly once when the request
+// finishes. On failure it returns ErrBusy, ErrClientBusy, ErrDraining, or
+// ctx's error.
+func (a *admission) Admit(ctx context.Context, client string) (release func(), err error) {
+	if a.draining.Load() {
+		a.rejectedDrain.Add(1)
+		return nil, ErrDraining
+	}
+
+	// Reserve the client's fairness slot first: a client at its cap is
+	// rejected without consuming a waiter slot, so one greedy client can
+	// neither starve the pool nor clog the waiting room.
+	a.mu.Lock()
+	if a.byClient[client] >= a.perClient {
+		a.mu.Unlock()
+		a.rejectedClient.Add(1)
+		return nil, ErrClientBusy
+	}
+	a.byClient[client]++
+	a.mu.Unlock()
+
+	admitErr := func(err error, counter *atomic.Uint64) (func(), error) {
+		a.mu.Lock()
+		a.decClientLocked(client)
+		a.mu.Unlock()
+		if counter != nil {
+			counter.Add(1)
+		}
+		return nil, err
+	}
+
+	select {
+	case a.sem <- struct{}{}:
+	default:
+		// No free slot: join the bounded waiting room, or bounce.
+		a.mu.Lock()
+		if a.waiters >= a.maxWaiters {
+			a.mu.Unlock()
+			return admitErr(ErrBusy, &a.rejectedFull)
+		}
+		a.waiters++
+		a.mu.Unlock()
+		wait := a.admitWait
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		timer := time.NewTimer(wait)
+		var werr error
+		select {
+		case a.sem <- struct{}{}:
+		case <-timer.C:
+			werr = ErrBusy
+		case <-ctx.Done():
+			werr = ctx.Err()
+		}
+		timer.Stop()
+		a.mu.Lock()
+		a.waiters--
+		a.mu.Unlock()
+		if werr != nil {
+			if werr == ErrBusy {
+				return admitErr(werr, &a.rejectedFull)
+			}
+			return admitErr(werr, nil)
+		}
+		// Admitted while draining flipped on: honor the slot (drain waits
+		// for it) rather than racing a rejection.
+	}
+
+	a.accepted.Add(1)
+	n := int(a.inflight.Add(1))
+	a.mu.Lock()
+	if n > a.peak {
+		a.peak = n
+	}
+	a.mu.Unlock()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.inflight.Add(-1)
+			a.mu.Lock()
+			a.decClientLocked(client)
+			a.mu.Unlock()
+			<-a.sem
+		})
+	}, nil
+}
+
+// decClientLocked drops one of client's reservations. Caller holds a.mu.
+func (a *admission) decClientLocked(client string) {
+	if n := a.byClient[client]; n <= 1 {
+		delete(a.byClient, client)
+	} else {
+		a.byClient[client] = n - 1
+	}
+}
+
+// StartDrain flips the admission gate shut: every subsequent Admit is
+// rejected with ErrDraining. Requests already admitted are unaffected.
+func (a *admission) StartDrain() { a.draining.Store(true) }
+
+// Draining reports whether the gate is shut.
+func (a *admission) Draining() bool { return a.draining.Load() }
+
+// AwaitIdle blocks until no requests are in-flight or ctx expires.
+func (a *admission) AwaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if a.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Inflight returns the number of currently admitted requests.
+func (a *admission) Inflight() int { return int(a.inflight.Load()) }
+
+// Peak returns the high-water mark of concurrently admitted requests.
+func (a *admission) Peak() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Waiters returns how many requests are blocked waiting for a slot.
+func (a *admission) Waiters() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiters
+}

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionCapacityAndWaitingRoom(t *testing.T) {
+	a := newAdmission(2, 1, 0, 20*time.Millisecond)
+	ctx := context.Background()
+
+	rel1, err := a.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.Admit(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+
+	// Third request: capacity is full, so it takes the single waiter slot
+	// and times out with ErrBusy because nothing releases.
+	start := time.Now()
+	if _, err := a.Admit(ctx, "c"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("over-capacity admit = %v, want ErrBusy", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("waiter was rejected immediately; it must wait admitWait first")
+	}
+
+	// While a release frees a slot, a new request gets in.
+	rel1()
+	rel3, err := a.Admit(ctx, "c")
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	rel2()
+	rel3()
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("inflight after all releases = %d, want 0", got)
+	}
+	if got := a.Peak(); got != 2 {
+		t.Fatalf("peak = %d, want 2", got)
+	}
+}
+
+func TestAdmissionWaitingRoomIsBounded(t *testing.T) {
+	a := newAdmission(1, 0, 0, time.Second)
+	rel, err := a.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// maxWaiters = 0: a full pool rejects instantly, never blocks.
+	start := time.Now()
+	if _, err := a.Admit(context.Background(), "b"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("admit = %v, want ErrBusy", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("zero-waiter admission must reject without waiting")
+	}
+	if a.rejectedFull.Load() != 1 {
+		t.Errorf("rejectedFull = %d, want 1", a.rejectedFull.Load())
+	}
+}
+
+func TestAdmissionPerClientFairness(t *testing.T) {
+	a := newAdmission(4, 4, 1, 10*time.Millisecond)
+	ctx := context.Background()
+
+	relA, err := a.Admit(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice is at her cap: her next request bounces immediately even
+	// though the pool has free slots — and without eating a waiter slot.
+	if _, err := a.Admit(ctx, "alice"); !errors.Is(err, ErrClientBusy) {
+		t.Fatalf("second alice admit = %v, want ErrClientBusy", err)
+	}
+	if got := a.Waiters(); got != 0 {
+		t.Errorf("fairness rejection consumed a waiter slot (waiters=%d)", got)
+	}
+	// Other clients are unaffected.
+	relB, err := a.Admit(ctx, "bob")
+	if err != nil {
+		t.Fatalf("bob must not be blocked by alice: %v", err)
+	}
+	relA()
+	// With her slot back, alice is admitted again.
+	relA2, err := a.Admit(ctx, "alice")
+	if err != nil {
+		t.Fatalf("alice after release: %v", err)
+	}
+	relA2()
+	relB()
+	if a.rejectedClient.Load() != 1 {
+		t.Errorf("rejectedClient = %d, want 1", a.rejectedClient.Load())
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := newAdmission(2, 2, 0, 10*time.Millisecond)
+	rel, err := a.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StartDrain()
+	if !a.Draining() {
+		t.Fatal("Draining() = false after StartDrain")
+	}
+	if _, err := a.Admit(context.Background(), "b"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("admit while draining = %v, want ErrDraining", err)
+	}
+
+	// AwaitIdle blocks until the in-flight request releases.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := a.AwaitIdle(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AwaitIdle with work in flight = %v, want deadline", err)
+	}
+	rel()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := a.AwaitIdle(ctx2); err != nil {
+		t.Fatalf("AwaitIdle after release: %v", err)
+	}
+}
+
+func TestAdmissionReleaseIsIdempotent(t *testing.T) {
+	a := newAdmission(1, 0, 0, time.Millisecond)
+	rel, err := a.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not free a phantom slot
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+	// Exactly one slot is available again, not two.
+	r1, err := a.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Admit(context.Background(), "b"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second admit = %v, want ErrBusy (double release freed a phantom slot?)", err)
+	}
+	r1()
+}
+
+func TestAdmissionCanceledWaiter(t *testing.T) {
+	a := newAdmission(1, 1, 0, time.Minute)
+	rel, err := a.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, werr := a.Admit(ctx, "b")
+		errc <- werr
+	}()
+	// Give the waiter time to enter the waiting room, then abandon it.
+	deadline := time.Now().Add(time.Second)
+	for a.Waiters() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case werr := <-errc:
+		if !errors.Is(werr, context.Canceled) {
+			t.Fatalf("canceled waiter got %v, want context.Canceled", werr)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled waiter never returned")
+	}
+	if got := a.Waiters(); got != 0 {
+		t.Errorf("waiters = %d after cancellation, want 0", got)
+	}
+}

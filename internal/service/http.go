@@ -1,0 +1,349 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/classify   classify a workload spec (JSON) or an uploaded
+//	                    binary trace (any other content type) — NDJSON
+//	POST /v1/sweep      run an experiment sweep — NDJSON
+//	GET  /v1/jobs/{id}  job status, attempts, partial failures
+//	GET  /healthz       200 ok / 503 draining
+//	GET  /metrics       expvar counters as JSON
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// statusFor maps the service's error taxonomy to HTTP statuses. It walks
+// wrap chains with errors.Is, so a trace limit violation buried inside a
+// TaskError inside a MultiError still reads as 413 — the reason
+// MultiError's multi-branch Unwrap matters to the API layer.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, trace.ErrTraceTooLarge):
+		return http.StatusRequestEntityTooLarge // 413
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClientBusy):
+		return http.StatusTooManyRequests // 429
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable // 503
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest // 400
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout // 504
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError // 500
+	}
+}
+
+// errorBody is the JSON error envelope for non-streaming failures.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Status: status})
+}
+
+// clientID identifies the requester for per-client fairness: an explicit
+// X-Mct-Client header, else the peer address without the port.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Mct-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// ndjsonWriter emits one JSON value per line and flushes each, so
+// clients see results as they exist rather than when the response
+// buffer fills.
+type ndjsonWriter struct {
+	w       http.ResponseWriter
+	f       http.Flusher
+	emitted uint64
+}
+
+func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
+	f, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	return &ndjsonWriter{w: w, f: f}
+}
+
+func (nw *ndjsonWriter) emit(v any) error {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("service: encoding result line: %w", err)
+	}
+	if _, err := nw.w.Write(append(enc, '\n')); err != nil {
+		return err
+	}
+	nw.emitted++
+	if nw.f != nil {
+		nw.f.Flush()
+	}
+	return nil
+}
+
+// finishJob records a job's outcome and feeds the retry metric.
+func (s *Service) finishJob(id string, err error, records, emitted, hits, misses uint64) {
+	s.jobs.Finish(id, err, records, emitted, hits, misses)
+	if err != nil {
+		fails, _ := failuresOf(err)
+		s.noteRetries(fails)
+	}
+}
+
+// handleClassify serves POST /v1/classify. A JSON body is a workload
+// spec, batched with its contemporaries and memoized; any other body is
+// a binary trace, streamed through the classifier under the service's
+// size limits and cancellation. Either way the response is NDJSON and
+// the job ID rides the X-Mct-Job header (never the body, which must be
+// byte-identical between cold and cache-warm runs).
+func (s *Service) handleClassify(w http.ResponseWriter, r *http.Request) {
+	// Full duplex from the start: without it, HTTP/1's response path
+	// synchronously drains any unread request body before the first
+	// response byte goes out — an admission rejection of a slow or
+	// withheld upload would block on the client instead of returning 429
+	// immediately. (HTTP/2 is duplex natively; ErrNotSupported is fine.)
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	client := clientID(r)
+	release, err := s.adm.Admit(r.Context(), client)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer release()
+
+	id := s.jobs.Create("classify", client)
+	w.Header().Set("X-Mct-Job", id)
+
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		s.classifySpecRequest(w, r, id)
+		return
+	}
+	s.classifyUploadRequest(w, r, id)
+}
+
+// classifySpecRequest handles the JSON-spec flavor of /v1/classify.
+func (s *Service) classifySpecRequest(w http.ResponseWriter, r *http.Request, id string) {
+	var spec ClassifySpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		err = fmt.Errorf("%w: decoding spec: %v", ErrBadRequest, err)
+		s.finishJob(id, err, 0, 0, 0, 0)
+		writeErr(w, err)
+		return
+	}
+	if err := spec.normalize(false, s.cfg.MaxSpecAccesses); err != nil {
+		s.finishJob(id, err, 0, 0, 0, 0)
+		writeErr(w, err)
+		return
+	}
+
+	s.jobs.Start(id)
+	done, err := s.bat.submit(r.Context(), spec)
+	if err == nil {
+		select {
+		case res := <-done:
+			if res.err != nil {
+				err = res.err
+				break
+			}
+			var hits, misses uint64
+			if res.hit {
+				hits = 1
+			} else {
+				misses = 1
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_, werr := w.Write(res.art.Body)
+			s.finishJob(id, werr, res.art.Stats.Records, res.art.Stats.Emitted, hits, misses)
+			return
+		case <-r.Context().Done():
+			err = r.Context().Err()
+		}
+	}
+	s.finishJob(id, err, 0, 0, 0, 0)
+	writeErr(w, err)
+}
+
+// classifyUploadRequest handles the binary-trace flavor of /v1/classify:
+// the body is an MCTR trace, classified as it is read — no buffering of
+// the upload, no memoization (the trace's content is unknown until it
+// has already been simulated). Cache geometry comes from query
+// parameters. Limit violations and malformed headers fail before any
+// response byte; mid-stream failures append a trailing error record.
+func (s *Service) classifyUploadRequest(w http.ResponseWriter, r *http.Request, id string) {
+	spec, err := specFromQuery(r)
+	if err == nil {
+		err = spec.normalize(true, 0)
+	}
+	if err != nil {
+		s.finishJob(id, err, 0, 0, 0, 0)
+		writeErr(w, err)
+		return
+	}
+
+	s.jobs.Start(id)
+	rd, err := trace.NewReaderContext(r.Context(), r.Body, s.cfg.Limits)
+	if err != nil {
+		if !errors.Is(err, trace.ErrTraceTooLarge) && !errors.Is(err, context.Canceled) {
+			err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		s.finishJob(id, err, 0, 0, 0, 0)
+		writeErr(w, err)
+		return
+	}
+
+	nw := newNDJSONWriter(w)
+	st, err := runClassify(r.Context(), spec, rd, rd.Err, nw.emit)
+	if err != nil {
+		// The status line is long gone; the error becomes the last record
+		// and the job's failure state.
+		_ = nw.emit(errorBody{Error: err.Error(), Status: statusFor(err)})
+		s.finishJob(id, err, st.Records, nw.emitted, 0, 0)
+		return
+	}
+	s.records.Add(st.Records)
+	s.finishJob(id, nil, st.Records, nw.emitted, 0, 0)
+}
+
+// specFromQuery maps the upload path's query parameters onto a spec.
+func specFromQuery(r *http.Request) (ClassifySpec, error) {
+	var spec ClassifySpec
+	q := r.URL.Query()
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{
+		{"size_kb", &spec.SizeKB},
+		{"assoc", &spec.Assoc},
+		{"line", &spec.LineSize},
+		{"tag_bits", &spec.TagBits},
+	} {
+		if v := q.Get(f.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return spec, fmt.Errorf("%w: query %s=%q is not an integer", ErrBadRequest, f.name, v)
+			}
+			*f.dst = n
+		}
+	}
+	spec.Emit = q.Get("emit")
+	return spec, nil
+}
+
+// handleSweep serves POST /v1/sweep: validate the selection (shared with
+// cmd/paperbench), fan the artifacts through the supervised pool, and
+// stream one NDJSON record per artifact plus a summary. Failed cells
+// stream error records and surface in the job's failure list; they are
+// neither cached nor checkpointed, so resubmitting recomputes exactly
+// those.
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	client := clientID(r)
+	release, err := s.adm.Admit(r.Context(), client)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer release()
+
+	id := s.jobs.Create("sweep", client)
+	w.Header().Set("X-Mct-Job", id)
+
+	var spec SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		err = fmt.Errorf("%w: decoding spec: %v", ErrBadRequest, err)
+		s.finishJob(id, err, 0, 0, 0, 0)
+		writeErr(w, err)
+		return
+	}
+	p, arts, err := spec.normalize()
+	if err != nil {
+		s.finishJob(id, err, 0, 0, 0, 0)
+		writeErr(w, err)
+		return
+	}
+
+	s.jobs.Start(id)
+	lines, hits, misses, runErr := s.runSweep(r.Context(), p, arts)
+
+	nw := newNDJSONWriter(w)
+	ok := 0
+	for _, line := range lines {
+		if line.Error == "" {
+			ok++
+		}
+		if err := nw.emit(line); err != nil {
+			s.finishJob(id, err, uint64(len(lines)), nw.emitted, hits, misses)
+			return
+		}
+	}
+	_ = nw.emit(struct {
+		Summary sweepSummary `json:"summary"`
+	}{sweepSummary{Experiments: len(lines), OK: ok, Failed: len(lines) - ok}})
+	s.finishJob(id, runErr, uint64(len(lines)), nw.emitted, hits, misses)
+}
+
+// handleJob serves GET /v1/jobs/{id}.
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf("unknown job %q (evicted or never created)", id), Status: http.StatusNotFound})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(job)
+}
+
+// handleHealthz serves GET /healthz: 503 once draining so load
+// balancers route away while in-flight work finishes.
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.adm.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"status":"draining"}` + "\n"))
+		return
+	}
+	_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+}
+
+// handleMetrics serves GET /metrics: the service's expvar map as JSON.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = fmt.Fprintln(w, s.vars.String())
+}

@@ -1,0 +1,234 @@
+// Package service is the networked front end of the simulator: a job
+// model with admission control, request batching into the runner's
+// supervised worker pool, NDJSON result streaming, on-disk memoization,
+// and graceful drain. cmd/mctd mounts it over HTTP; the package itself
+// is transport-light (handlers in http.go) and fully testable in
+// process.
+//
+// The request path is admission → batch → supervise → stream:
+//
+//  1. admission bounds in-flight work (capacity, a small waiting room,
+//     per-client fairness) and rejects everything beyond with 429/503 —
+//     memory stays proportional to configuration, never to offered load;
+//  2. admitted classify specs coalesce into batches that execute as one
+//     supervised worker-pool fan-out; sweeps fan out per artifact;
+//  3. the runner layer supplies deadlines, retries, and partial-result
+//     collection (job-scoped via runner.WithOptions, not global state);
+//  4. results stream back as NDJSON, byte-identical whether computed or
+//     replayed from the memoization cache.
+package service
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/trace"
+)
+
+// Config sizes the service. The zero value is usable: every field has a
+// production-shaped default.
+type Config struct {
+	// Capacity is the maximum number of admitted (in-flight) requests;
+	// MaxWaiters more may briefly block for a slot (0 = default to
+	// Capacity, negative = no waiting room), and no client may hold more
+	// than PerClient slots (0 = no per-client cap). AdmitWait bounds how
+	// long a waiter blocks before 429.
+	Capacity   int
+	MaxWaiters int
+	PerClient  int
+	AdmitWait  time.Duration
+
+	// BatchSize and BatchWait shape classify batching: a batch closes at
+	// BatchSize items or BatchWait after its first item.
+	BatchSize int
+	BatchWait time.Duration
+
+	// CacheDir roots the memoization cache (shared with cmd/paperbench);
+	// NoCache disables it. CheckpointDir roots sweep checkpoints.
+	CacheDir      string
+	NoCache       bool
+	CheckpointDir string
+
+	// Limits bounds uploaded traces; MaxSpecAccesses bounds spec-path
+	// classification size.
+	Limits          trace.Limits
+	MaxSpecAccesses uint64
+
+	// TaskTimeout and Retries are the supervision policy for every job's
+	// fan-out (0 timeout = unbounded).
+	TaskTimeout time.Duration
+	Retries     int
+
+	// MaxJobs bounds the in-memory job registry (oldest evicted).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity == 0 {
+		c.Capacity = 64
+	}
+	if c.MaxWaiters == 0 {
+		c.MaxWaiters = c.Capacity
+	}
+	if c.AdmitWait == 0 {
+		c.AdmitWait = 100 * time.Millisecond
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.CacheDir == "" {
+		c.CacheDir = runner.DefaultCacheDir
+	}
+	if c.CheckpointDir == "" {
+		c.CheckpointDir = runner.DefaultCheckpointDir
+	}
+	if c.Limits == (trace.Limits{}) {
+		c.Limits = trace.Limits{MaxRecords: 10_000_000, MaxBytes: 1 << 28}
+	}
+	if c.MaxSpecAccesses == 0 {
+		c.MaxSpecAccesses = 5_000_000
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Service is one mctd instance: the admission gate, the job registry,
+// the classify batcher, the memoization cache, and the metrics they
+// feed.
+type Service struct {
+	cfg   Config
+	adm   *admission
+	jobs  *jobs
+	cache *runner.Cache // nil with NoCache
+	bat   *batcher
+
+	start   time.Time
+	records counter // simulated records (instructions/accesses), for rate
+	retried counter
+	vars    *expvar.Map
+}
+
+// New builds a Service from cfg (zero fields defaulted). Callers own its
+// lifecycle: serve s.Handler(), then Drain on shutdown.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		adm:   newAdmission(cfg.Capacity, cfg.MaxWaiters, cfg.PerClient, cfg.AdmitWait),
+		jobs:  newJobs(cfg.MaxJobs),
+		start: time.Now(),
+	}
+	if !cfg.NoCache {
+		s.cache = runner.Open(cfg.CacheDir)
+	}
+	s.bat = newBatcher(cfg.BatchSize, cfg.BatchWait, s.runBatch)
+	s.vars = s.buildVars()
+	return s
+}
+
+// supervision is the job-scoped option set every fan-out runs under.
+func (s *Service) supervision() []runner.Option {
+	opts := []runner.Option{runner.Retry(s.cfg.Retries, runner.DefaultBackoff)}
+	if s.cfg.TaskTimeout > 0 {
+		opts = append(opts, runner.Deadline(s.cfg.TaskTimeout))
+	}
+	return opts
+}
+
+// StartDrain shuts the admission gate: new work is rejected with 503,
+// in-flight work keeps running. healthz flips to draining so load
+// balancers stop routing here.
+func (s *Service) StartDrain() { s.adm.StartDrain() }
+
+// Drain performs the full graceful shutdown: gate shut, wait for every
+// admitted request to finish (bounded by ctx), then stop the batcher.
+// After Drain returns nil the process holds no in-flight work.
+func (s *Service) Drain(ctx context.Context) error {
+	s.adm.StartDrain()
+	if err := s.adm.AwaitIdle(ctx); err != nil {
+		return fmt.Errorf("service: drain: %w", err)
+	}
+	s.bat.stop()
+	return nil
+}
+
+// Cache exposes the memoization cache (nil when disabled) for wiring
+// diagnostics loggers.
+func (s *Service) Cache() *runner.Cache { return s.cache }
+
+// Vars returns the service's metrics as an unpublished expvar.Map —
+// test instances never collide in the process-global expvar registry;
+// cmd/mctd publishes it explicitly.
+func (s *Service) Vars() *expvar.Map { return s.vars }
+
+// counter is a tiny expvar-compatible atomic counter.
+type counter struct{ v expvar.Int }
+
+func (c *counter) Add(n uint64) { c.v.Add(int64(n)) }
+func (c *counter) Load() int64  { return c.v.Value() }
+
+// buildVars wires every metric as a live expvar.Func over the service's
+// state: scraping /metrics always sees current values, nothing is
+// double-accounted.
+func (s *Service) buildVars() *expvar.Map {
+	m := new(expvar.Map).Init()
+	gauge := func(name string, f func() any) { m.Set(name, expvar.Func(f)) }
+	gauge("jobs_accepted", func() any { return s.adm.accepted.Load() })
+	gauge("jobs_rejected_busy", func() any { return s.adm.rejectedFull.Load() })
+	gauge("jobs_rejected_client", func() any { return s.adm.rejectedClient.Load() })
+	gauge("jobs_rejected_drain", func() any { return s.adm.rejectedDrain.Load() })
+	gauge("jobs_rejected", func() any {
+		return s.adm.rejectedFull.Load() + s.adm.rejectedClient.Load() + s.adm.rejectedDrain.Load()
+	})
+	gauge("jobs_retried", func() any { return s.retried.Load() })
+	gauge("queue_inflight", func() any { return s.adm.Inflight() })
+	gauge("queue_waiters", func() any { return s.adm.Waiters() })
+	gauge("queue_peak", func() any { return s.adm.Peak() })
+	gauge("queue_capacity", func() any { return s.cfg.Capacity })
+	gauge("draining", func() any {
+		if s.adm.Draining() {
+			return 1
+		}
+		return 0
+	})
+	gauge("cache_hits", func() any { h, _ := s.cache.Stats(); return h })
+	gauge("cache_misses", func() any { _, mi := s.cache.Stats(); return mi })
+	gauge("cache_hit_rate", func() any {
+		h, mi := s.cache.Stats()
+		if h+mi == 0 {
+			return 0.0
+		}
+		return float64(h) / float64(h+mi)
+	})
+	gauge("records_total", func() any { return s.records.Load() })
+	gauge("records_per_sec", func() any {
+		el := time.Since(s.start).Seconds()
+		if el <= 0 {
+			return 0.0
+		}
+		return float64(s.records.Load()) / el
+	})
+	return m
+}
+
+// noteRetries feeds the jobs_retried counter from a finished job's
+// failure structure (attempt counts above 1 mean the supervision layer
+// retried).
+func (s *Service) noteRetries(failures []Failure) {
+	for _, f := range failures {
+		if f.Attempts > 1 {
+			s.retried.Add(uint64(f.Attempts - 1))
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+// SweepSpec is the body of POST /v1/sweep: which experiments to run at
+// what scale. Validation is shared with cmd/paperbench's -experiment
+// flag (experiments.ValidateSelection), so the service and the CLI
+// accept exactly the same selections and reject typos with the same
+// valid-name listing.
+type SweepSpec struct {
+	// Experiments selects artifacts by name ("all", "fig2", "table1", ...).
+	Experiments []string `json:"experiments"`
+	// Quick uses the reduced test-scale parameters.
+	Quick bool `json:"quick,omitempty"`
+	// Accesses/Instructions/Seed override individual parameters when
+	// nonzero.
+	Accesses     uint64 `json:"accesses,omitempty"`
+	Instructions uint64 `json:"instructions,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+}
+
+// normalize validates the selection and resolves the run parameters.
+func (sp *SweepSpec) normalize() (experiments.Params, []experiments.Artifact, error) {
+	if len(sp.Experiments) == 0 {
+		sp.Experiments = []string{experiments.SelectAll}
+	}
+	if err := experiments.ValidateSelection(sp.Experiments); err != nil {
+		return experiments.Params{}, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	arts, err := experiments.Select(sp.Experiments)
+	if err != nil {
+		return experiments.Params{}, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	p := experiments.Default()
+	if sp.Quick {
+		p = experiments.Quick()
+	}
+	if sp.Accesses != 0 {
+		p.MemAccesses = sp.Accesses
+	}
+	if sp.Instructions != 0 {
+		p.Instructions = sp.Instructions
+	}
+	if sp.Seed != 0 {
+		p.Seed = sp.Seed
+	}
+	return p, arts, nil
+}
+
+// sweepLine is one NDJSON record of a sweep response: the artifact's
+// result verbatim (the memo cache's raw JSON, so cold and warm runs are
+// byte-identical) or its error.
+type sweepLine struct {
+	Experiment string          `json:"experiment"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// sweepSummary is the trailing NDJSON record.
+type sweepSummary struct {
+	Experiments int `json:"experiments"`
+	OK          int `json:"ok"`
+	Failed      int `json:"failed"`
+}
+
+// sweepCell is one artifact's outcome inside a sweep.
+type sweepCell struct {
+	raw json.RawMessage
+	hit bool
+}
+
+// sweepRunID keys a sweep's checkpoint by everything that defines it —
+// parameters, selection, code version — mirroring cmd/paperbench's
+// scheme so a rerun of the same configuration finds its own progress and
+// nothing else's.
+func sweepRunID(p experiments.Params, arts []experiments.Artifact) string {
+	sel := make([]string, 0, len(arts))
+	for _, a := range arts {
+		sel = append(sel, a.Slug)
+	}
+	sort.Strings(sel)
+	enc, _ := json.Marshal(p)
+	h := sha256.New()
+	fmt.Fprintf(h, "svc\x00code=%s\x00params=%s\x00sel=%s", runner.CodeVersion(), enc, strings.Join(sel, ","))
+	return "svc-" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// runSweep executes the selected artifacts through the supervised worker
+// pool, each cell memoized under the same (slug, Params) key
+// cmd/paperbench uses — a sweep the CLI already computed replays from
+// cache, and vice versa. Progress is checkpointed per cell, so a sweep
+// killed mid-flight and resubmitted recomputes only the unfinished
+// cells (the finished ones hit the cache). Returns the NDJSON lines in
+// artifact order, cache-hit counts, and the pool's error (a MultiError
+// under partial results).
+func (s *Service) runSweep(ctx context.Context, p experiments.Params, arts []experiments.Artifact) ([]sweepLine, uint64, uint64, error) {
+	var ckpt *runner.Checkpoint
+	if s.cache != nil && s.cfg.CheckpointDir != "" {
+		ckpt = runner.OpenCheckpoint(s.cfg.CheckpointDir, sweepRunID(p, arts))
+	}
+
+	// Job-scoped supervision: the options ride the context into the pool,
+	// so everything this job fans out inherits the policy without global
+	// state (two concurrent sweeps could run different policies).
+	jobCtx := runner.WithOptions(ctx, append(s.supervision(), runner.PartialResults())...)
+
+	tasks := make([]runner.Task[sweepCell], len(arts))
+	for i, art := range arts {
+		art := art
+		tasks[i] = runner.NewTask("sweep/"+art.Slug, func(tctx context.Context) (sweepCell, error) {
+			raw, hit, err := runner.Memo(s.cache, art.Slug, p, func() (json.RawMessage, error) {
+				if cerr := tctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+				v, rerr := art.Run(p)
+				if rerr != nil {
+					return nil, rerr
+				}
+				enc, merr := json.Marshal(v)
+				if merr != nil {
+					return nil, fmt.Errorf("service: encoding %s result: %w", art.Slug, merr)
+				}
+				s.records.Add(p.Instructions)
+				return enc, nil
+			})
+			if err != nil {
+				return sweepCell{}, err
+			}
+			if key, kerr := runner.Key(art.Slug, p); kerr == nil {
+				_ = ckpt.MarkDone(art.Slug, key)
+			}
+			return sweepCell{raw: raw, hit: hit}, nil
+		})
+	}
+	cells, err := runner.Map(jobCtx, tasks)
+
+	failed := map[int]error{}
+	var me *runner.MultiError
+	if errors.As(err, &me) {
+		for _, f := range me.Failures {
+			failed[f.Index] = f
+		}
+	} else if err != nil {
+		// Whole-pool failure (e.g. the request was canceled before partial
+		// results could be collected): every cell shares the error.
+		for i := range arts {
+			failed[i] = err
+		}
+	}
+	lines := make([]sweepLine, len(arts))
+	var hits, misses uint64
+	for i, art := range arts {
+		if ferr, ok := failed[i]; ok {
+			lines[i] = sweepLine{Experiment: art.Slug, Error: ferr.Error()}
+			continue
+		}
+		if i < len(cells) {
+			lines[i] = sweepLine{Experiment: art.Slug, Result: cells[i].raw}
+			if cells[i].hit {
+				hits++
+			} else {
+				misses++
+			}
+		}
+	}
+	if err == nil && ckpt != nil && len(failed) == 0 {
+		// Complete: nothing left to resume.
+		_ = ckpt.Remove()
+	}
+	return lines, hits, misses, err
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -88,17 +89,77 @@ func WriteAll(w io.Writer, s Stream) (uint64, error) {
 	return tw.Count(), tw.Flush()
 }
 
+// ErrTraceTooLarge reports that a trace exceeded a Reader's configured
+// Limits. Servers reading untrusted uploads match it with errors.Is to
+// map the failure to "request entity too large" instead of treating it
+// as a corrupt trace.
+var ErrTraceTooLarge = errors.New("trace: stream exceeds configured limit")
+
+// Limits bounds what a Reader will consume. A zero field is unlimited.
+// Both bounds are enforced against the header's declared count up front
+// (a trace that promises too many records fails at NewReaderContext,
+// before any record is read) and against the actual stream as it is
+// decoded (a count-unknown trace fails at the first record past the
+// limit), so a malicious or runaway upload can never make a service
+// worker buffer or simulate without bound.
+type Limits struct {
+	// MaxRecords caps the number of records decoded.
+	MaxRecords uint64
+	// MaxBytes caps the total trace size in bytes (header included).
+	MaxBytes uint64
+}
+
+// allowsDeclared checks a header's promised record count against the
+// limits.
+func (l Limits) allowsDeclared(declared uint64) error {
+	if declared == 0 {
+		return nil
+	}
+	if l.MaxRecords != 0 && declared > l.MaxRecords {
+		return fmt.Errorf("trace: header declares %d records, limit is %d: %w", declared, l.MaxRecords, ErrTraceTooLarge)
+	}
+	if l.MaxBytes != 0 && headerSize+declared*recordSize > l.MaxBytes {
+		return fmt.Errorf("trace: header declares %d records (%d bytes), byte limit is %d: %w",
+			declared, headerSize+declared*recordSize, l.MaxBytes, ErrTraceTooLarge)
+	}
+	return nil
+}
+
+// cancelCheckInterval is how many records a Reader decodes between
+// context-cancellation checks: frequent enough that an abandoned request
+// stops within microseconds of work, rare enough to stay off the
+// per-record fast path.
+const cancelCheckInterval = 512
+
 // Reader replays a binary trace as a Stream.
 type Reader struct {
 	r        *bufio.Reader
+	ctx      context.Context
+	lim      Limits
 	declared uint64
 	read     uint64
 	err      error
 }
 
 // NewReader validates the header and returns a Reader positioned at the
-// first record.
+// first record. The reader is unbounded and non-cancellable — the right
+// shape for trusted local files; services reading untrusted request
+// bodies use NewReaderContext.
 func NewReader(r io.Reader) (*Reader, error) {
+	return NewReaderContext(context.Background(), r, Limits{})
+}
+
+// NewReaderContext is NewReader with cancellation and resource limits:
+// Next stops with ctx's error once the context is cancelled (checked
+// every few hundred records, so an abandoned request stops promptly
+// without per-record overhead), and stops with an error matching
+// ErrTraceTooLarge as soon as the stream exceeds lim. A header that
+// already promises more than lim allows fails here, before any record
+// is decoded.
+func NewReaderContext(ctx context.Context, r io.Reader, lim Limits) (*Reader, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [16]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -110,7 +171,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if hdr[4] != traceVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", hdr[4], traceVersion)
 	}
-	return &Reader{r: br, declared: binary.LittleEndian.Uint64(hdr[8:])}, nil
+	declared := binary.LittleEndian.Uint64(hdr[8:])
+	if err := lim.allowsDeclared(declared); err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, ctx: ctx, lim: lim, declared: declared}, nil
 }
 
 // Declared returns the record count promised by the header (0 = unknown).
@@ -119,12 +184,36 @@ func (r *Reader) Declared() uint64 { return r.declared }
 // Err returns the first non-EOF error encountered while reading.
 func (r *Reader) Err() error { return r.err }
 
-// Next implements Stream. Truncated trailing records surface through Err.
+// Next implements Stream. Truncated trailing records, limit violations
+// (matching ErrTraceTooLarge), and context cancellation all surface
+// through Err.
 func (r *Reader) Next(out *Instr) bool {
 	if r.err != nil {
 		return false
 	}
 	if r.declared != 0 && r.read >= r.declared {
+		return false
+	}
+	if r.read%cancelCheckInterval == 0 {
+		if cerr := r.ctx.Err(); cerr != nil {
+			r.err = fmt.Errorf("trace: cancelled at record %d: %w", r.read, cerr)
+			return false
+		}
+	}
+	// A count-unknown trace (declared == 0) is bounded only by the stream
+	// itself: refuse to decode past the limits. Checked before the read so
+	// an at-limit trace that cleanly ends is accepted, but one more record
+	// is never buffered.
+	if r.lim.MaxRecords != 0 && r.read >= r.lim.MaxRecords {
+		if _, err := r.r.Peek(1); err == nil {
+			r.err = fmt.Errorf("trace: more than %d records: %w", r.lim.MaxRecords, ErrTraceTooLarge)
+		}
+		return false
+	}
+	if r.lim.MaxBytes != 0 && headerSize+(r.read+1)*recordSize > r.lim.MaxBytes {
+		if _, err := r.r.Peek(1); err == nil {
+			r.err = fmt.Errorf("trace: more than %d bytes: %w", r.lim.MaxBytes, ErrTraceTooLarge)
+		}
 		return false
 	}
 	var rec [recordSize]byte

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// encode writes n instructions with the given declared header count
+// (which may differ from n to model truncated or count-unknown traces).
+func encode(t *testing.T, n int, declared uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range instrs(n) {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReaderDeclaredOverRecordLimit(t *testing.T) {
+	data := encode(t, 10, 10)
+	_, err := NewReaderContext(context.Background(), bytes.NewReader(data), Limits{MaxRecords: 5})
+	if !errors.Is(err, ErrTraceTooLarge) {
+		t.Fatalf("declared 10 > limit 5: err = %v, want ErrTraceTooLarge", err)
+	}
+}
+
+func TestReaderDeclaredOverByteLimit(t *testing.T) {
+	data := encode(t, 10, 10)
+	_, err := NewReaderContext(context.Background(), bytes.NewReader(data), Limits{MaxBytes: 64})
+	if !errors.Is(err, ErrTraceTooLarge) {
+		t.Fatalf("declared 10 records over 64-byte limit: err = %v, want ErrTraceTooLarge", err)
+	}
+}
+
+func TestReaderStreamOverRecordLimit(t *testing.T) {
+	// Count-unknown trace (declared 0): the limit must bite on the stream
+	// itself, at the first record past the bound.
+	data := encode(t, 10, 0)
+	r, err := NewReaderContext(context.Background(), bytes.NewReader(data), Limits{MaxRecords: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(r)
+	if len(got) != 5 {
+		t.Fatalf("drained %d records, want 5 before the limit error", len(got))
+	}
+	if !errors.Is(r.Err(), ErrTraceTooLarge) {
+		t.Fatalf("Err() = %v, want ErrTraceTooLarge", r.Err())
+	}
+}
+
+func TestReaderStreamOverByteLimit(t *testing.T) {
+	data := encode(t, 10, 0)
+	// Header (16) + 3 records (63) = 79 bytes; allow 80 so exactly three
+	// records fit.
+	r, err := NewReaderContext(context.Background(), bytes.NewReader(data), Limits{MaxBytes: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(r)
+	if len(got) != 3 {
+		t.Fatalf("drained %d records, want 3 under an 80-byte limit", len(got))
+	}
+	if !errors.Is(r.Err(), ErrTraceTooLarge) {
+		t.Fatalf("Err() = %v, want ErrTraceTooLarge", r.Err())
+	}
+}
+
+func TestReaderExactlyAtLimitIsClean(t *testing.T) {
+	// A count-unknown trace with exactly MaxRecords records must read
+	// cleanly: the limit only rejects traces that actually exceed it.
+	data := encode(t, 5, 0)
+	r, err := NewReaderContext(context.Background(), bytes.NewReader(data), Limits{MaxRecords: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(r)
+	if len(got) != 5 || r.Err() != nil {
+		t.Fatalf("drained %d records, err %v; want all 5 and no error", len(got), r.Err())
+	}
+}
+
+func TestReaderCancellation(t *testing.T) {
+	// Enough records that the periodic cancellation check fires at least
+	// once after the cancel.
+	data := encode(t, 4*cancelCheckInterval, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := NewReaderContext(ctx, bytes.NewReader(data), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in Instr
+	for i := 0; i < cancelCheckInterval/2; i++ {
+		if !r.Next(&in) {
+			t.Fatalf("stream ended early at %d: %v", i, r.Err())
+		}
+	}
+	cancel()
+	n := 0
+	for r.Next(&in) {
+		n++
+	}
+	if n > cancelCheckInterval {
+		t.Fatalf("read %d records after cancellation, want at most one check interval", n)
+	}
+	if !errors.Is(r.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", r.Err())
+	}
+}
+
+func TestReaderCancelledBeforeFirstRecord(t *testing.T) {
+	data := encode(t, 10, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := NewReaderContext(ctx, bytes.NewReader(data), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in Instr
+	if r.Next(&in) {
+		t.Fatal("Next succeeded under a cancelled context")
+	}
+	if !errors.Is(r.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", r.Err())
+	}
+}
