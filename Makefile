@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race ci bench bench-smoke chaos-smoke serve-smoke vulncheck fuzz clean-cache
+.PHONY: build vet test race ci bench bench-smoke chaos-smoke serve-smoke obs-smoke vulncheck fuzz clean-cache
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet race bench-smoke chaos-smoke serve-smoke vulncheck
+ci: vet race bench-smoke chaos-smoke serve-smoke obs-smoke vulncheck
 
 # Full hot-path benchmark sweep: the Go benchmarks for each package plus
 # the paperbench -bench report (BENCH_pr2.json). Use this for recorded
@@ -52,6 +52,16 @@ chaos-smoke:
 # pass from masking a regression.
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServeSmoke|TestMctloadEndToEnd' -timeout 300s ./cmd/mctd ./cmd/mctload
+
+# Observability smoke: boot mctd, drive exactly 200 classify requests
+# through the load generator, scrape /metrics?format=prometheus, and
+# require (a) zero unparseable exposition lines under the strict parser,
+# (b) the server-side classify-latency histogram _count to equal the
+# client-side request count, (c) every metric name to pass the naming
+# convention (the vet-style gate lives in TestMetricNamingConvention).
+# The double-boot regression test pins the expvar republication fix.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestObsSmoke|TestMctdRepublishesMetricsOnReboot|TestMetricNamingConvention|TestPrometheusExposition' -timeout 300s ./cmd/mctd ./internal/service
 
 # Known-vulnerability scan, best effort: runs when govulncheck is on PATH
 # and never fails the build on environments without it (the container this

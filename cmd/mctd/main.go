@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -17,11 +18,15 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/service"
 	"repro/internal/trace"
@@ -29,6 +34,32 @@ import (
 
 func main() {
 	os.Exit(mctdMain(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// liveVars points at the CURRENT service instance's expvar map. The
+// process-global "mct" entry is published exactly once, as a forwarding
+// expvar.Func that resolves through this pointer at read time — so a
+// second mctdMain boot in the same process (tests do this; embedders
+// could too) atomically repoints the global registry at the live
+// instance instead of silently leaving it on the dead one. The old code
+// guarded expvar.Publish with expvar.Get("mct") == nil, which never
+// republished: every boot after the first served the first boot's
+// frozen counters forever.
+var (
+	liveVars    atomic.Pointer[expvar.Map]
+	publishVars sync.Once
+)
+
+func publishLiveVars(m *expvar.Map) {
+	liveVars.Store(m)
+	publishVars.Do(func() {
+		expvar.Publish("mct", expvar.Func(func() any {
+			if cur := liveVars.Load(); cur != nil {
+				return obs.ExpvarValues(cur)
+			}
+			return map[string]any{}
+		}))
+	})
 }
 
 // mctdMain runs the daemon until a shutdown signal lands and the drain
@@ -59,10 +90,22 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		taskTimeout  = fs.Duration("task-timeout", 0, "per-task attempt deadline (0 = unbounded)")
 		retries      = fs.Int("retries", 2, "extra attempts per task for failures marked transient")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
+
+		traceOut   = fs.String("trace-out", "", "write finished trace spans as NDJSON to this file")
+		traceSpans = fs.Int("trace-spans", 0, "in-memory span ring size behind /v1/trace (0 = default)")
+		pprofOn    = fs.Bool("pprof", false, "mount /debug/pprof and /debug/vars (opt-in: profiling endpoints are not for the open internet)")
+		slowFactor = fs.Float64("slow-factor", 8, "log task attempts slower than this multiple of their label's running median (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	// One serialized writer for every diagnostic stream — the server's
+	// own log lines, the cache's log callback, slow-task events. Without
+	// it the cache logger wrote to stderr from concurrent sweep workers
+	// with no synchronization, shearing interleaved lines.
+	log := obs.NewSyncWriter(stderr)
+	stderr = log
 
 	// Flag semantics (-1 = match capacity, 0 = no waiting room) differ
 	// from Config's (0 = default to capacity, negative = none).
@@ -94,15 +137,38 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		MaxSpecAccesses: *maxAccesses,
 		TaskTimeout:     *taskTimeout,
 		Retries:         *retries,
+		TraceSpans:      *traceSpans,
 	})
 	if c := svc.Cache(); c != nil {
-		c.SetLogf(func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) })
+		// The callback writes through the serialized writer; each log
+		// statement is one Write, so concurrent workers cannot shear lines.
+		c.SetLogf(func(format string, a ...any) { fmt.Fprintf(log, format+"\n", a...) })
 	}
-	// Publish the service's metrics into the process-global expvar
-	// registry (idempotently: tests boot mctdMain more than once per
-	// process, and expvar.Publish panics on duplicates).
-	if expvar.Get("mct") == nil {
-		expvar.Publish("mct", svc.Vars())
+	publishLiveVars(svc.Vars())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "mctd:", err)
+			return 1
+		}
+		exp := obs.NewNDJSONExporter(f)
+		obs.SetExporter(exp)
+		defer func() {
+			obs.SetExporter(nil)
+			if err := exp.Close(); err != nil {
+				fmt.Fprintln(stderr, "mctd: trace-out:", err)
+			}
+		}()
+	}
+
+	if *slowFactor > 0 {
+		obs.SetSlowLog(*slowFactor, 8, func(e obs.SlowEvent) {
+			svc.NoteSlowTask()
+			enc, _ := json.Marshal(e)
+			fmt.Fprintf(log, "mctd: slow task %s\n", enc)
+		})
+		defer obs.SetSlowLog(0, 0, nil)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -110,7 +176,7 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		fmt.Fprintln(stderr, "mctd:", err)
 		return 1
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := &http.Server{Handler: rootHandler(svc, *pprofOn)}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
@@ -162,4 +228,23 @@ func cacheDisplay(noCache bool, dir string) string {
 		return "disabled"
 	}
 	return dir
+}
+
+// rootHandler wraps the service API, optionally mounting the pprof
+// endpoints and the process-global expvar registry. Opt-in only: the
+// profiling surface reveals internals (and profile collection costs CPU)
+// that a production instance should not expose by default.
+func rootHandler(svc *service.Service, withPprof bool) http.Handler {
+	if !withPprof {
+		return svc.Handler()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

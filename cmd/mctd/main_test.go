@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,7 +18,9 @@ import (
 	"time"
 
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // TestServeSmoke is the end-to-end daemon exercise behind `make
@@ -301,5 +305,252 @@ func TestMctdBadFlag(t *testing.T) {
 	var out, errB bytes.Buffer
 	if code := mctdMain([]string{"-no-such-flag"}, &out, &errB, nil); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// bootMctd starts mctdMain on an ephemeral port and returns its base URL
+// plus a shutdown func that SIGTERMs and waits for a clean exit.
+func bootMctd(t *testing.T, extraArgs ...string) (string, func()) {
+	t.Helper()
+	args := append([]string{
+		"-listen", "127.0.0.1:0",
+		"-cachedir", t.TempDir() + "/cache",
+		"-checkpointdir", t.TempDir() + "/ckpt",
+	}, extraArgs...)
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	var logBuf syncBuffer
+	go func() { exit <- mctdMain(args, io.Discard, &logBuf, ready) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-exit:
+		t.Fatalf("mctd exited %d before serving:\n%s", code, logBuf.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("mctd never became ready")
+	}
+	return base, func() {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-exit:
+			if code != 0 {
+				t.Fatalf("mctd exited %d after SIGTERM:\n%s", code, logBuf.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("mctd never exited after SIGTERM:\n%s", logBuf.String())
+		}
+	}
+}
+
+// classifyN posts n spec classifies and requires them all to succeed.
+func classifyN(t *testing.T, base string, n int) {
+	t.Helper()
+	names := workload.Names()
+	if len(names) == 0 {
+		t.Fatal("no workloads registered")
+	}
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"workload":%q,"accesses":2000,"size_kb":8,"emit":"summary"}`, names[0])
+		resp, err := http.Post(base+"/v1/classify", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify %d/%d: status %d", i+1, n, resp.StatusCode)
+		}
+	}
+}
+
+// globalMctVars reads the process-global expvar registry's "mct" entry —
+// what /debug/vars serves — as a flat map.
+func globalMctVars(t *testing.T) map[string]float64 {
+	t.Helper()
+	v := expvar.Get("mct")
+	if v == nil {
+		t.Fatal(`expvar.Get("mct") is nil; publishLiveVars never ran`)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("global mct var is not flat JSON numbers: %v\n%s", err, v.String())
+	}
+	return m
+}
+
+// TestMctdRepublishesMetricsOnReboot is the regression test for the
+// stale-metrics bug: mctdMain used to publish the first instance's
+// expvar map into the process-global registry behind an
+// expvar.Get("mct") == nil guard, so every later boot in the same
+// process left the global "mct" entry pointing at the dead first
+// instance — frozen counters forever. The forwarding expvar.Func must
+// resolve to whichever instance is live NOW.
+func TestMctdRepublishesMetricsOnReboot(t *testing.T) {
+	// First life: one accepted classify.
+	base1, shutdown1 := bootMctd(t)
+	classifyN(t, base1, 1)
+	if got := globalMctVars(t)["jobs_accepted"]; got != 1 {
+		t.Fatalf("first boot: global jobs_accepted = %v, want 1", got)
+	}
+	shutdown1()
+
+	// Second life: three accepted classifies. The global registry must
+	// track the live instance, not replay the first one's count.
+	base2, shutdown2 := bootMctd(t)
+	defer shutdown2()
+	classifyN(t, base2, 3)
+
+	m := globalMctVars(t)
+	if m["jobs_accepted"] != 3 {
+		t.Fatalf("second boot: global jobs_accepted = %v, want 3 (stale first-instance map?)", m["jobs_accepted"])
+	}
+	// And the global view must agree with the live instance's /metrics.
+	live := scrape(t, http.DefaultClient, base2)
+	if m["jobs_accepted"] != live["jobs_accepted"] {
+		t.Errorf("global registry %v != live /metrics %v", m["jobs_accepted"], live["jobs_accepted"])
+	}
+}
+
+// TestObsSmoke is the gate behind `make obs-smoke`: boot mctd, drive an
+// exact number of classify requests through the load generator, scrape
+// the Prometheus exposition, and require (a) zero unparseable lines
+// under the strict parser, (b) the server-side classify-latency
+// histogram's _count to equal the client-side request count, (c) every
+// metric name to satisfy the naming convention.
+func TestObsSmoke(t *testing.T) {
+	const requests = 200
+	base, shutdown := bootMctd(t, "-capacity", "256")
+	defer shutdown()
+
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:          base,
+		Concurrency:      4,
+		Duration:         2 * time.Minute, // MaxRequests ends the run long before this
+		ClassifyFraction: 1.0,             // classifies only: counts must match exactly
+		MaxRequests:      requests,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clientReqs uint64
+	for _, res := range report.Results {
+		if res.Name == "classify" {
+			clientReqs = res.Requests
+		}
+		if res.Name == "sweep" {
+			t.Fatalf("sweep traffic in a classify-only run: %+v", res)
+		}
+	}
+	if clientReqs != requests {
+		t.Fatalf("client issued %d classifies, want exactly %d", clientReqs, requests)
+	}
+
+	resp, err := http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus endpoint status %d", resp.StatusCode)
+	}
+	samples, err := obs.ParseProm(resp.Body) // strict: any malformed line fails
+	if err != nil {
+		t.Fatalf("exposition has unparseable lines: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("empty exposition")
+	}
+	for _, s := range samples {
+		name := s.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		if !strings.HasPrefix(name, "mct_") {
+			t.Errorf("sample %q outside the mct_ namespace", s.Name)
+		}
+	}
+
+	var classify *obs.ParsedHistogram
+	for _, h := range obs.HistogramsFromSamples(samples) {
+		if h.Name == "mct_classify_duration_seconds" {
+			hh := h
+			classify = &hh
+		}
+	}
+	if classify == nil {
+		t.Fatal("no mct_classify_duration_seconds histogram in exposition")
+	}
+	if classify.Count != clientReqs {
+		t.Fatalf("server-side classify histogram count = %d, client issued %d — lost or double-counted requests",
+			classify.Count, clientReqs)
+	}
+	if last := classify.Buckets[len(classify.Buckets)-1]; last.LE != "+Inf" || last.CumulativeCount != classify.Count {
+		t.Errorf("+Inf bucket %+v does not match count %d", last, classify.Count)
+	}
+}
+
+// TestMctdPprofOptIn pins that the profiling surface is opt-in: absent
+// -pprof the debug endpoints 404, with it they serve.
+func TestMctdPprofOptIn(t *testing.T) {
+	base, shutdown := bootMctd(t)
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("/debug/pprof served without -pprof")
+	}
+	shutdown()
+
+	base2, shutdown2 := bootMctd(t, "-pprof")
+	defer shutdown2()
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get(base2 + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s with -pprof = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// The service API must still work through the wrapper mux.
+	classifyN(t, base2, 1)
+}
+
+// TestMctdTraceOut checks the span NDJSON file: every line parses as a
+// span record and the classify request's spans are present.
+func TestMctdTraceOut(t *testing.T) {
+	out := t.TempDir() + "/spans.ndjson"
+	base, shutdown := bootMctd(t, "-trace-out", out)
+	classifyN(t, base, 2)
+	shutdown() // flushes and closes the exporter
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	names := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("trace-out line is not a span record: %v\n%s", err, sc.Text())
+		}
+		names[rec.Name]++
+	}
+	if names["http.classify"] != 2 {
+		t.Errorf("http.classify spans = %d, want 2 (got %v)", names["http.classify"], names)
+	}
+	for _, want := range []string{"service.admit", "runner.task", "cache.lookup"} {
+		if names[want] == 0 {
+			t.Errorf("trace-out missing %q spans; got %v", want, names)
+		}
 	}
 }

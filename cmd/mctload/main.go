@@ -1,7 +1,8 @@
 // Command mctload is the load-generator client for mctd: it drives
 // concurrent mixed classify/sweep traffic at a target (or closed-loop)
-// rate, reports latency percentiles and error rates, and writes the
-// machine-readable BENCH_pr4.json snapshot.
+// rate, reports latency percentiles and error rates, scrapes the
+// server's Prometheus exposition for the service-side view, and writes
+// the machine-readable BENCH_pr5.json snapshot.
 //
 // Usage:
 //
@@ -34,7 +35,8 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 		qps         = fs.Float64("qps", 0, "aggregate target QPS (0 = unpaced closed loop)")
 		mix         = fs.Float64("mix", 0.9, "fraction of requests that are classifies (rest are sweeps)")
 		seed        = fs.Uint64("seed", 1, "traffic-pattern seed")
-		out         = fs.String("out", "BENCH_pr4.json", "machine-readable report path (empty = skip)")
+		requests    = fs.Uint64("requests", 0, "stop after exactly this many requests (0 = run for -duration)")
+		out         = fs.String("out", "BENCH_pr5.json", "machine-readable report path (empty = skip)")
 		quiet       = fs.Bool("quiet", false, "suppress the result table")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -48,6 +50,7 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 		QPS:              *qps,
 		ClassifyFraction: *mix,
 		Seed:             *seed,
+		MaxRequests:      *requests,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "mctload:", err)
@@ -56,6 +59,16 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 	if len(report.Results) == 0 {
 		fmt.Fprintln(stderr, "mctload: no requests completed — is mctd running at", *url, "?")
 		return 1
+	}
+
+	// Fold in the server's own histograms. Best-effort: a target without
+	// the Prometheus endpoint still yields a valid client-side report.
+	scrapeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if sm, err := loadgen.ScrapeServer(scrapeCtx, nil, *url); err != nil {
+		fmt.Fprintln(stderr, "mctload: server metrics unavailable:", err)
+	} else {
+		report.Server = sm
 	}
 
 	if !*quiet {

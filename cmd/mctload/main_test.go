@@ -25,7 +25,7 @@ func TestMctloadEndToEnd(t *testing.T) {
 		svc.Drain(ctx)
 	})
 
-	out := filepath.Join(t.TempDir(), "BENCH_pr4.json")
+	out := filepath.Join(t.TempDir(), "BENCH_pr5.json")
 	var stdout, stderr bytes.Buffer
 	code := mctloadMain([]string{
 		"-url", srv.URL,
@@ -54,6 +54,28 @@ func TestMctloadEndToEnd(t *testing.T) {
 	total := report.Results[len(report.Results)-1]
 	if total.Name != "total" || total.Requests == 0 || total.Latency.P99Ms <= 0 {
 		t.Errorf("report totals implausible: %+v", total)
+	}
+
+	// Schema 2: the server's own histograms ride along in the report.
+	if report.Server == nil {
+		t.Fatalf("report.Server missing — Prometheus scrape failed?\nstderr:\n%s", stderr.String())
+	}
+	hists := map[string]perf.ServerHistogram{}
+	for _, h := range report.Server.Histograms {
+		hists[h.Name] = h
+	}
+	classify, ok := hists["mct_classify_duration_seconds"]
+	if !ok {
+		t.Fatalf("server histograms missing classify latency: %+v", report.Server.Histograms)
+	}
+	if classify.Count == 0 || len(classify.Buckets) == 0 {
+		t.Errorf("classify histogram empty: %+v", classify)
+	}
+	if last := classify.Buckets[len(classify.Buckets)-1]; last.LE != "+Inf" || last.Count != classify.Count {
+		t.Errorf("classify +Inf bucket %+v inconsistent with count %d", last, classify.Count)
+	}
+	if report.Server.Counters["mct_jobs_accepted_total"] <= 0 {
+		t.Errorf("server counters implausible: %+v", report.Server.Counters)
 	}
 }
 

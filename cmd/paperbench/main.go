@@ -11,6 +11,7 @@
 //	           [-resume] [-checkpointdir DIR] [-inject SPEC]
 //	           [-bench] [-benchout FILE]
 //	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-trace-out FILE] [-slow-factor N]
 //
 // The default scale (see internal/experiments.Default) is sized to finish
 // in minutes on a laptop while giving stable statistics; -quick shrinks it
@@ -69,6 +70,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -107,9 +109,38 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		benchOut = fs.String("benchout", "BENCH_pr2.json", "machine-readable benchmark report path (with -bench)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile covering the whole run (worker pool included)")
 		memProf  = fs.String("memprofile", "", "write a heap profile at the end of the run")
+
+		traceOut   = fs.String("trace-out", "", "write finished trace spans (one per task attempt, batch, cache lookup) as NDJSON to this file")
+		slowFactor = fs.Float64("slow-factor", 8, "log task attempts slower than this multiple of their label's running median (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Tracing is opt-in and process-global: the runner's per-attempt spans
+	// reach the exporter from every fan-out below. Disabled (the default),
+	// span creation is a single atomic load — see internal/obs.
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "paperbench:", err)
+			return 1
+		}
+		exp := obs.NewNDJSONExporter(f)
+		obs.SetExporter(exp)
+		defer func() {
+			obs.SetExporter(nil)
+			if err := exp.Close(); err != nil {
+				fmt.Fprintln(stderr, "paperbench: trace-out:", err)
+			}
+		}()
+	}
+	if *slowFactor > 0 {
+		obs.SetSlowLog(*slowFactor, 8, func(e obs.SlowEvent) {
+			enc, _ := json.Marshal(e)
+			fmt.Fprintf(stderr, "paperbench: slow task %s\n", enc)
+		})
+		defer obs.SetSlowLog(0, 0, nil)
 	}
 
 	// Profiles bracket everything below — experiment fan-outs and the
@@ -222,6 +253,12 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	all := wanted["all"]
+
+	// Spans from this run carry the checkpoint run ID as their default
+	// trace, so an NDJSON trace file joins back to the exact configuration
+	// (parameters, selection, code version) that produced it.
+	obs.SetDefaultTrace("paperbench-" + runID(p, wanted))
+	defer obs.SetDefaultTrace("")
 
 	// Sweep checkpoint: keyed by (parameters, selection, code version) so
 	// a rerun of the same configuration finds its own progress and nothing

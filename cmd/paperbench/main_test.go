@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -87,6 +91,61 @@ func TestNoCacheBypassesDisk(t *testing.T) {
 	}
 	if strings.Contains(errB.String(), "cache:") {
 		t.Error("-nocache must not report cache stats")
+	}
+}
+
+// TestTraceOutWritesSpans runs a quick experiment with -trace-out and
+// checks the NDJSON: every line is a span record, runner.task spans are
+// present (one per sweep cell attempt), and they all share the
+// configuration-derived default trace ID — and that stdout stays
+// byte-identical to a run without tracing (observability must not leak
+// into the artifacts).
+func TestTraceOutWritesSpans(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "spans.ndjson")
+	var traced, plain, errB bytes.Buffer
+	args := []string{"-quick", "-experiment", "fig2", "-nocache"}
+	if code := paperbenchMain(append(args, "-trace-out", out), &traced, &errB); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, errB.String())
+	}
+	if code := paperbenchMain(args, &plain, &errB); code != 0 {
+		t.Fatalf("untraced run exit %d:\n%s", code, errB.String())
+	}
+	if !bytes.Equal(traced.Bytes(), plain.Bytes()) {
+		t.Error("-trace-out changed stdout; tables must be byte-identical")
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var tasks int
+	traces := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("trace line is not a span record: %v\n%s", err, sc.Text())
+		}
+		if rec.Name == "runner.task" {
+			tasks++
+		}
+		traces[rec.Trace] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if tasks == 0 {
+		t.Error("no runner.task spans in trace output")
+	}
+	// All spans share the one configuration-derived trace ID.
+	if len(traces) != 1 {
+		t.Errorf("expected a single shared trace ID, got %v", traces)
+	}
+	for tr := range traces {
+		if !strings.HasPrefix(tr, "paperbench-") {
+			t.Errorf("span trace %q does not carry the run ID", tr)
+		}
 	}
 }
 

@@ -2,7 +2,8 @@
 // a fixed fleet of workers drives mixed classify/sweep traffic at either
 // the maximum closed-loop rate or a target QPS, measuring per-request
 // latency and error rates. cmd/mctload wraps it as a CLI and writes the
-// BENCH_pr4.json report.
+// BENCH_pr5.json report (client-side results plus the server's own
+// histograms scraped from the Prometheus endpoint).
 //
 // "Closed loop" means each worker issues its next request only after the
 // previous one completes — offered load adapts to service latency, so an
@@ -18,6 +19,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/perf"
@@ -47,6 +49,11 @@ type Config struct {
 	// cycles through (distinct cache keys server-side). Default 4: the
 	// first wave computes, the rest replay — a realistic warm-cache mix.
 	Variants int
+	// MaxRequests, when positive, stops the fleet after exactly this many
+	// requests have been issued (whichever of MaxRequests and Duration is
+	// reached first ends the run). The obs-smoke gate uses this to make
+	// client-side and server-side request counts exactly comparable.
+	MaxRequests uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +126,7 @@ func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 
 	samples := make(chan sample, 1024)
 	var wg sync.WaitGroup
+	var issued atomic.Uint64 // across the fleet, for MaxRequests
 	start := time.Now()
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
@@ -127,6 +135,9 @@ func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 			rng := splitmix64(cfg.Seed + uint64(id)*0x9e37)
 			for {
 				if runCtx.Err() != nil {
+					return
+				}
+				if cfg.MaxRequests > 0 && issued.Add(1) > cfg.MaxRequests {
 					return
 				}
 				if permits != nil {

@@ -1,0 +1,56 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/perf"
+)
+
+// ScrapeServer fetches the service's Prometheus exposition and folds it
+// into the report's Server section: plain (label-free) samples become
+// counters, *_bucket/_sum/_count families become histograms. The caller
+// decides whether a scrape failure fails the run — the client-side
+// results are complete without it.
+func ScrapeServer(ctx context.Context, client *http.Client, baseURL string) (*perf.ServerMetrics, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics?format=prometheus", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape %s: status %d", req.URL, resp.StatusCode)
+	}
+	samples, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape %s: %w", req.URL, err)
+	}
+
+	sm := &perf.ServerMetrics{Counters: map[string]float64{}}
+	for _, h := range obs.HistogramsFromSamples(samples) {
+		sh := perf.ServerHistogram{Name: h.Name, Count: h.Count, Sum: h.Sum}
+		for _, b := range h.Buckets {
+			sh.Buckets = append(sh.Buckets, perf.ServerBucket{LE: b.LE, Count: b.CumulativeCount})
+		}
+		sm.Histograms = append(sm.Histograms, sh)
+	}
+	for _, s := range samples {
+		// Histogram series are already folded above; everything else
+		// label-free is a scalar worth keeping.
+		if s.Labels != nil || strings.HasSuffix(s.Name, "_sum") || strings.HasSuffix(s.Name, "_count") {
+			continue
+		}
+		sm.Counters[s.Name] = s.Value
+	}
+	return sm, nil
+}

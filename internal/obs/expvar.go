@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+)
+
+// ExpvarValues flattens an expvar.Map into a JSON-marshalable map of
+// current values: expvar.Func vars resolve by calling the func,
+// everything else round-trips through its JSON String form. cmd/mctd
+// publishes its process-global "mct" entry as an expvar.Func over the
+// live service's map via this helper, so the global registry always
+// describes the CURRENT instance — republishing on re-boot without
+// tripping expvar.Publish's duplicate panic.
+func ExpvarValues(m *expvar.Map) map[string]any {
+	out := map[string]any{}
+	m.Do(func(kv expvar.KeyValue) {
+		switch v := kv.Value.(type) {
+		case expvar.Func:
+			out[kv.Key] = v()
+		case *expvar.Int:
+			out[kv.Key] = v.Value()
+		case *expvar.Float:
+			out[kv.Key] = v.Value()
+		default:
+			out[kv.Key] = json.RawMessage(kv.Value.String())
+		}
+	})
+	return out
+}

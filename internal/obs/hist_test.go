@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("mct_test_seconds", "t", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	// Bounds are inclusive upper limits: 0.5,1 -> le=1; 1.5,2 -> le=2;
+	// 3,4 -> le=4; 100 -> +Inf.
+	want := []uint64{2, 2, 2, 1}
+	got := h.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("snapshot len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if sum := h.Sum(); math.Abs(sum-112) > 1e-9 {
+		t.Errorf("Sum = %g, want 112", sum)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":    {},
+		"unsorted": {1, 3, 2},
+		"dup":      {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds did not panic", name)
+				}
+			}()
+			NewHistogram("mct_bad_seconds", "t", bounds)
+		}()
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("mct_q_seconds", "t", []float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", h.Quantile(0.5))
+	}
+	// 100 observations uniform in (0,1]: p50 should interpolate to ~0.5
+	// inside the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if p50 := h.Quantile(0.5); math.Abs(p50-0.5) > 0.01 {
+		t.Errorf("p50 = %g, want ~0.5", p50)
+	}
+	if p100 := h.Quantile(1); p100 != 1 {
+		t.Errorf("p100 = %g, want 1 (upper bound of crossing bucket)", p100)
+	}
+	// Everything in +Inf: quantile returns the last finite bound.
+	h2 := NewHistogram("mct_q2_seconds", "t", []float64{1})
+	h2.Observe(50)
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("+Inf-bucket quantile = %g, want 1 (lower bound)", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("mct_conc_seconds", "t", LatencyBuckets)
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*each)
+	}
+	if sum := h.Sum(); math.Abs(sum-workers*each*0.001) > 1e-6 {
+		t.Errorf("Sum = %g, want %g", sum, workers*each*0.001)
+	}
+}
+
+func TestHistogramStringIsExpvarJSON(t *testing.T) {
+	h := NewHistogram("mct_s_seconds", "t", []float64{1, 2})
+	h.ObserveDuration(1500 * time.Millisecond)
+	var v struct {
+		Count uint64  `json:"count"`
+		Sum   float64 `json:"sum"`
+		P50   float64 `json:"p50"`
+		P99   float64 `json:"p99"`
+	}
+	if err := json.Unmarshal([]byte(h.String()), &v); err != nil {
+		t.Fatalf("String() is not JSON: %v\n%s", err, h.String())
+	}
+	if v.Count != 1 || v.Sum != 1.5 {
+		t.Errorf("parsed %+v", v)
+	}
+}
+
+func TestDefaultBucketLayouts(t *testing.T) {
+	for name, bounds := range map[string][]float64{"latency": LatencyBuckets, "size": SizeBuckets} {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Errorf("%s buckets not ascending at %d", name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckMetricName(t *testing.T) {
+	cases := []struct {
+		kind MetricKind
+		name string
+		ok   bool
+	}{
+		{KindCounter, "mct_jobs_accepted_total", true},
+		{KindCounter, "mct_jobs_accepted", false}, // counter without _total
+		{KindGauge, "mct_queue_inflight", true},
+		{KindGauge, "mct_queue_total", false}, // gauge ending _total
+		{KindHistogram, "mct_classify_duration_seconds", true},
+		{KindHistogram, "mct_classify_batch_size", true},
+		{KindHistogram, "mct_classify_duration", false}, // no unit suffix
+		{KindCounter, "jobs_total", false},              // missing namespace
+		{KindCounter, "mct_Jobs_total", false},          // capitals
+		{KindCounter, "mct__jobs_total", false},         // double underscore
+		{KindCounter, "mct_jobs_total_", false},         // trailing underscore
+		{MetricKind("summary"), "mct_x_total", false},   // unknown kind
+	}
+	for _, c := range cases {
+		err := CheckMetricName(c.kind, c.name)
+		if (err == nil) != c.ok {
+			t.Errorf("CheckMetricName(%s, %q) = %v, want ok=%v", c.kind, c.name, err, c.ok)
+		}
+	}
+}
+
+func TestRegistryPanicsOnBadOrDuplicateName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mct_good_total", "h", func() float64 { return 0 })
+	for name, reg := range map[string]func(){
+		"bad name":  func() { r.Gauge("not_namespaced", "h", func() float64 { return 0 }) },
+		"duplicate": func() { r.Counter("mct_good_total", "h", func() float64 { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration did not panic", name)
+				}
+			}()
+			reg()
+		}()
+	}
+}
+
+func TestWriteTextAndParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mct_jobs_accepted_total", "Jobs accepted.", func() float64 { return 42 })
+	r.Gauge("mct_queue_inflight", "In-flight jobs.", func() float64 { return 3 })
+	h := r.Histogram("mct_classify_duration_seconds", "Classify latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(5) // +Inf bucket
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	// Spot-check the exposition shape.
+	for _, want := range []string{
+		"# HELP mct_jobs_accepted_total Jobs accepted.",
+		"# TYPE mct_jobs_accepted_total counter",
+		"mct_jobs_accepted_total 42",
+		"# TYPE mct_queue_inflight gauge",
+		"mct_queue_inflight 3",
+		"# TYPE mct_classify_duration_seconds histogram",
+		`mct_classify_duration_seconds_bucket{le="0.001"} 1`,
+		`mct_classify_duration_seconds_bucket{le="0.01"} 3`,
+		`mct_classify_duration_seconds_bucket{le="0.1"} 3`,
+		`mct_classify_duration_seconds_bucket{le="+Inf"} 4`,
+		"mct_classify_duration_seconds_count 4",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", want, text)
+		}
+	}
+
+	// The strict parser must accept every line the writer produces.
+	samples, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseProm rejected our own exposition: %v", err)
+	}
+	byName := map[string]float64{}
+	for _, s := range samples {
+		if s.Labels == nil {
+			byName[s.Name] = s.Value
+		}
+	}
+	if byName["mct_jobs_accepted_total"] != 42 || byName["mct_queue_inflight"] != 3 {
+		t.Errorf("parsed plain samples = %v", byName)
+	}
+
+	hists := HistogramsFromSamples(samples)
+	if len(hists) != 1 {
+		t.Fatalf("reassembled %d histograms, want 1", len(hists))
+	}
+	ph := hists[0]
+	if ph.Name != "mct_classify_duration_seconds" || ph.Count != 4 {
+		t.Errorf("histogram = %+v", ph)
+	}
+	if math.Abs(ph.Sum-5.0105) > 1e-9 {
+		t.Errorf("Sum = %g, want 5.0105", ph.Sum)
+	}
+	if n := len(ph.Buckets); n != 4 {
+		t.Fatalf("%d buckets, want 4", n)
+	}
+	if last := ph.Buckets[len(ph.Buckets)-1]; last.LE != "+Inf" || last.CumulativeCount != 4 {
+		t.Errorf("last bucket = %+v, want +Inf cumulative 4", last)
+	}
+	for i := 1; i < len(ph.Buckets); i++ {
+		if ph.Buckets[i].CumulativeCount < ph.Buckets[i-1].CumulativeCount {
+			t.Errorf("buckets not cumulative: %+v", ph.Buckets)
+		}
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	for name, text := range map[string]string{
+		"bare word":       "hello world garbage\nmct_x_total 1\n",
+		"bad comment":     "# NOPE something\n",
+		"bad value":       "mct_x_total notanumber\n",
+		"unclosed label":  `mct_x_bucket{le="1 2` + "\n",
+		"label no quotes": `mct_x_bucket{le=1} 2` + "\n",
+	} {
+		if _, err := ParseProm(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ParseProm accepted %q", name, text)
+		}
+	}
+	// Blank lines and escaped labels are fine.
+	ok := "\n# HELP mct_x_total h\n# TYPE mct_x_total counter\n" +
+		`mct_x_total{path="a\"b\\c"} 1` + "\n"
+	samples, err := ParseProm(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("ParseProm rejected valid text: %v", err)
+	}
+	if len(samples) != 1 || samples[0].Labels["path"] != `a"b\c` {
+		t.Errorf("samples = %+v", samples)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mct_a_total", "h", func() float64 { return 0 })
+	r.Histogram("mct_b_seconds", "h", []float64{1})
+	names := r.Names()
+	if names["mct_a_total"] != KindCounter || names["mct_b_seconds"] != KindHistogram {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEvent is one slow-task detection: a task attempt whose duration
+// exceeded Factor× the running median for its label.
+type SlowEvent struct {
+	// Label is the runner task label ("sweep/fig2", "classify/gcc", ...).
+	Label string `json:"label"`
+	// Attempt is the attempt number (0-based, matching the runner's
+	// fault-injection hook).
+	Attempt int `json:"attempt"`
+	// Span is the attempt's span ID (0 when tracing is off).
+	Span uint64 `json:"span,omitempty"`
+	// Dur is the attempt's duration; Median the label's running median
+	// at detection time.
+	Dur    time.Duration `json:"dur_ns"`
+	Median time.Duration `json:"median_ns"`
+}
+
+// slowWindow keeps the most recent task durations for one label — a
+// small fixed ring, so the median tracks the workload's current shape
+// rather than its whole history.
+type slowWindow struct {
+	durs [32]time.Duration
+	n    int // total observed (min(n, len) are valid)
+}
+
+func (w *slowWindow) add(d time.Duration) {
+	w.durs[w.n%len(w.durs)] = d
+	w.n++
+}
+
+func (w *slowWindow) median() time.Duration {
+	n := w.n
+	if n > len(w.durs) {
+		n = len(w.durs)
+	}
+	if n == 0 {
+		return 0
+	}
+	tmp := make([]time.Duration, n)
+	copy(tmp, w.durs[:n])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[n/2]
+}
+
+// slowLog is the process-wide slow-task detector.
+type slowLog struct {
+	factor float64
+	min    int // observations per label before judging
+	emit   func(SlowEvent)
+
+	mu      sync.Mutex
+	byLabel map[string]*slowWindow
+}
+
+// maxSlowLabels bounds the per-label map: labels beyond the cap share
+// one aggregate window, so unbounded label cardinality cannot leak.
+const maxSlowLabels = 1024
+
+var slowState atomic.Pointer[slowLog]
+
+// SetSlowLog installs the process-wide slow-task detector: a task
+// attempt slower than factor× the running median of its label (after
+// minSamples observations of that label) produces one SlowEvent via
+// emit. emit must be safe for concurrent use. Passing a nil emit
+// removes the detector; NoteTask is then a single atomic load.
+func SetSlowLog(factor float64, minSamples int, emit func(SlowEvent)) {
+	if emit == nil {
+		slowState.Store(nil)
+		return
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	if minSamples < 2 {
+		minSamples = 2
+	}
+	slowState.Store(&slowLog{
+		factor:  factor,
+		min:     minSamples,
+		emit:    emit,
+		byLabel: map[string]*slowWindow{},
+	})
+}
+
+// NoteTask feeds one finished task attempt to the slow-task detector.
+// The runner calls this for every attempt; with no detector installed
+// it is one atomic load and a branch.
+func NoteTask(label string, attempt int, span uint64, d time.Duration) {
+	sl := slowState.Load()
+	if sl == nil {
+		return
+	}
+	sl.note(label, attempt, span, d)
+}
+
+func (sl *slowLog) note(label string, attempt int, span uint64, d time.Duration) {
+	sl.mu.Lock()
+	w := sl.byLabel[label]
+	if w == nil {
+		if len(sl.byLabel) >= maxSlowLabels {
+			label = "~other"
+			w = sl.byLabel[label]
+		}
+		if w == nil {
+			w = &slowWindow{}
+			sl.byLabel[label] = w
+		}
+	}
+	// Judge against the median of PRIOR attempts, then record: a slow
+	// task must not dilute the baseline it is judged against.
+	med := w.median()
+	n := w.n
+	w.add(d)
+	sl.mu.Unlock()
+
+	if n < sl.min || med <= 0 {
+		return
+	}
+	if float64(d) > sl.factor*float64(med) {
+		sl.emit(SlowEvent{Label: label, Attempt: attempt, Span: span, Dur: d, Median: med})
+	}
+}

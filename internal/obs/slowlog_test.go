@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogDetects(t *testing.T) {
+	var mu sync.Mutex
+	var events []SlowEvent
+	SetSlowLog(3, 4, func(e SlowEvent) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	defer SetSlowLog(0, 0, nil)
+
+	// Build a baseline of fast attempts, then one outlier.
+	for i := 0; i < 8; i++ {
+		NoteTask("sweep/fig2", i, 0, 10*time.Millisecond)
+	}
+	NoteTask("sweep/fig2", 8, 77, 100*time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1: %+v", len(events), events)
+	}
+	e := events[0]
+	if e.Label != "sweep/fig2" || e.Attempt != 8 || e.Span != 77 {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Dur != 100*time.Millisecond || e.Median != 10*time.Millisecond {
+		t.Errorf("event durations = %v median %v", e.Dur, e.Median)
+	}
+}
+
+func TestSlowLogNeedsMinSamples(t *testing.T) {
+	var n int
+	SetSlowLog(2, 5, func(SlowEvent) { n++ })
+	defer SetSlowLog(0, 0, nil)
+
+	// Outliers before minSamples observations must not fire.
+	for i := 0; i < 4; i++ {
+		NoteTask("x", i, 0, time.Duration(1+i*1000)*time.Millisecond)
+	}
+	if n != 0 {
+		t.Errorf("fired %d times below minSamples", n)
+	}
+}
+
+func TestSlowLogJudgesAgainstPriorMedian(t *testing.T) {
+	// A run of identical slow values must not self-suppress: each is
+	// judged against the median of earlier attempts only — so a sudden
+	// regime shift fires on the first slow attempt, not never.
+	var n int
+	SetSlowLog(2, 2, func(SlowEvent) { n++ })
+	defer SetSlowLog(0, 0, nil)
+
+	for i := 0; i < 5; i++ {
+		NoteTask("y", i, 0, 10*time.Millisecond)
+	}
+	NoteTask("y", 5, 0, 100*time.Millisecond)
+	if n != 1 {
+		t.Errorf("regime shift fired %d times, want 1", n)
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	SetSlowLog(0, 0, nil)
+	// Must be a no-op, not a panic.
+	NoteTask("z", 0, 0, time.Hour)
+}
+
+func TestSlowLogLabelCap(t *testing.T) {
+	var mu sync.Mutex
+	var labels []string
+	SetSlowLog(2, 2, func(e SlowEvent) {
+		mu.Lock()
+		labels = append(labels, e.Label)
+		mu.Unlock()
+	})
+	defer SetSlowLog(0, 0, nil)
+
+	// Exhaust the label budget.
+	for i := 0; i < maxSlowLabels; i++ {
+		NoteTask(fmt.Sprintf("l%d", i), 0, 0, time.Millisecond)
+	}
+	// Overflow labels fold into the shared aggregate window.
+	for i := 0; i < 4; i++ {
+		NoteTask(fmt.Sprintf("overflow%d", i), 0, 0, 10*time.Millisecond)
+	}
+	NoteTask("overflow-outlier", 0, 99, 100*time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(labels) != 1 || labels[0] != "~other" {
+		t.Errorf("overflow events = %v, want one ~other", labels)
+	}
+}
+
+func TestSlowLogClampsConfig(t *testing.T) {
+	// factor < 1 and minSamples < 2 are clamped, not rejected.
+	var n int
+	SetSlowLog(0.1, 0, func(SlowEvent) { n++ })
+	defer SetSlowLog(0, 0, nil)
+	NoteTask("c", 0, 0, 10*time.Millisecond)
+	NoteTask("c", 1, 0, 10*time.Millisecond)
+	// Equal to median: with factor clamped to 1, 10ms > 1×10ms is false.
+	NoteTask("c", 2, 0, 10*time.Millisecond)
+	if n != 0 {
+		t.Errorf("equal-to-median fired %d times", n)
+	}
+	NoteTask("c", 3, 0, 11*time.Millisecond)
+	if n != 1 {
+		t.Errorf("above-median with factor 1 fired %d times, want 1", n)
+	}
+}

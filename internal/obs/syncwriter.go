@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// SyncWriter serializes whole Write calls onto an underlying writer.
+// cmd/mctd routes every diagnostic stream — its own log lines, the
+// result cache's log callback, slow-task events — through one
+// SyncWriter so concurrent sweeps cannot shear interleaved lines on
+// stderr. (Each log statement must arrive as a single Write, which
+// fmt.Fprintf guarantees.)
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w. If w is already a *SyncWriter it is returned
+// as-is — double wrapping would just stack mutexes.
+func NewSyncWriter(w io.Writer) *SyncWriter {
+	if sw, ok := w.(*SyncWriter); ok {
+		return sw
+	}
+	return &SyncWriter{w: w}
+}
+
+// Write implements io.Writer.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -2,6 +2,7 @@ package perf
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"time"
@@ -11,8 +12,10 @@ import (
 )
 
 // LoadReportSchema versions the BENCH load-test JSON format (written by
-// cmd/mctload as BENCH_pr4.json).
-const LoadReportSchema = 1
+// cmd/mctload as BENCH_pr5.json). Schema 2 added the Server section:
+// server-side histograms and counters folded in from the service's
+// Prometheus exposition, so one file carries both sides of the run.
+const LoadReportSchema = 2
 
 // Latency summarizes a latency sample set in milliseconds.
 type Latency struct {
@@ -25,7 +28,14 @@ type Latency struct {
 }
 
 // Percentile returns the q-quantile (0 <= q <= 1) of sorted (ascending)
-// samples using nearest-rank; zero when empty.
+// samples using the nearest-rank definition: the smallest sample such
+// that at least q·n samples are <= it, i.e. index ceil(q·n)-1. Zero when
+// empty; q outside [0,1] clamps to the min/max sample.
+//
+// The previous implementation rounded the rank half-up
+// (int(q·n + 0.5) - 1), which understates percentiles whenever q·n has
+// fractional part below one half — e.g. p60 of 4 samples picked index 1
+// (the 50th percentile) instead of index 2.
 func Percentile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
@@ -36,7 +46,7 @@ func Percentile(sorted []time.Duration, q float64) time.Duration {
 	if q >= 1 {
 		return sorted[len(sorted)-1]
 	}
-	idx := int(q*float64(len(sorted))+0.5) - 1
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
@@ -83,7 +93,34 @@ type LoadResult struct {
 	Latency    Latency `json:"latency"`
 }
 
-// LoadReport is the full load-test snapshot written to BENCH_pr4.json.
+// ServerBucket is one cumulative histogram bucket as scraped from the
+// service: every observation <= LE (an upper bound like "0.005" or
+// "+Inf") counts toward Count.
+type ServerBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// ServerHistogram is one server-side histogram folded into the report
+// from the Prometheus exposition. Sum's unit is the histogram's own
+// (seconds for *_seconds, items for *_size).
+type ServerHistogram struct {
+	Name    string         `json:"name"`
+	Count   uint64         `json:"count"`
+	Sum     float64        `json:"sum"`
+	Buckets []ServerBucket `json:"buckets,omitempty"`
+}
+
+// ServerMetrics is the service's own view of the load run, scraped from
+// GET /metrics?format=prometheus after the fleet drains. Client-side
+// latency (the Results) includes the network and the generator; the
+// server-side histograms isolate what the service itself measured.
+type ServerMetrics struct {
+	Counters   map[string]float64 `json:"counters,omitempty"`
+	Histograms []ServerHistogram  `json:"histograms,omitempty"`
+}
+
+// LoadReport is the full load-test snapshot written to BENCH_pr5.json.
 type LoadReport struct {
 	Schema      int     `json:"schema"`
 	CodeVersion string  `json:"code_version"`
@@ -97,6 +134,9 @@ type LoadReport struct {
 	TargetQPS   float64 `json:"target_qps,omitempty"`
 
 	Results []LoadResult `json:"results"`
+	// Server holds the scraped server-side metrics; nil when the target
+	// could not be scraped (the client-side results still stand alone).
+	Server *ServerMetrics `json:"server,omitempty"`
 }
 
 // NewLoadReport stamps results with the environment, mirroring NewReport.

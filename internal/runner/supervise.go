@@ -11,6 +11,8 @@ import (
 	"runtime/debug"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DeadlineError reports that one task attempt exceeded the per-task
@@ -109,6 +111,21 @@ func supervise[T any](ctx context.Context, t Task[T], index int, cfg config, out
 func runAttempt[T any](ctx context.Context, t Task[T], attempt int, deadline time.Duration, out *T) (err error) {
 	stop := taskStarted(t.Label)
 	defer func() { stop(err) }()
+
+	// Every attempt runs under a span (free when tracing is off) and
+	// reports its duration to the slow-task log (one atomic load when
+	// off). The span context flows into the task body so nested
+	// instrumentation — cache lookups, service calls — parents correctly.
+	began := time.Now()
+	sctx, sp := obs.Start(ctx, "runner.task")
+	sp.Str("label", t.Label)
+	sp.Int("attempt", int64(attempt))
+	ctx = sctx
+	defer func() {
+		sp.Err(err)
+		sp.End()
+		obs.NoteTask(t.Label, attempt, sp.ID(), time.Since(began))
+	}()
 
 	if deadline <= 0 {
 		defer func() {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -132,7 +133,14 @@ func (b *batcher) loop() {
 // not take its batchmates down. Per-request cancellation instead
 // reaches into each task through the item's own context.
 func (s *Service) runBatch(items []*batchItem) {
+	s.hBatch.Observe(float64(len(items)))
 	ctx := runner.WithOptions(context.Background(), s.supervision()...)
+	// The batch runs detached from any one request, so its spans live
+	// under the shared "batch" trace; per-item cache-lookup spans ride
+	// each item's own context and land under that item's job trace.
+	ctx, sp := obs.Start(obs.Inject(ctx, s.ring, "batch"), "service.batch")
+	sp.Int("size", int64(len(items)))
+	defer sp.End()
 	tasks := make([]runner.Task[batchResult], len(items))
 	for i, it := range items {
 		it := it
@@ -169,7 +177,9 @@ func (s *Service) runBatch(items []*batchItem) {
 // the memoization cache. The rendered NDJSON body is the cached value;
 // see classifyArtifact for why.
 func (s *Service) classifyMemo(ctx context.Context, spec ClassifySpec) (classifyArtifact, bool, error) {
-	return runner.Memo(s.cache, classifySlug, spec, func() (classifyArtifact, error) {
+	_, sp := obs.Start(ctx, "cache.lookup")
+	sp.Str("workload", spec.Workload)
+	art, hit, err := runner.Memo(s.cache, classifySlug, spec, func() (classifyArtifact, error) {
 		var buf bytes.Buffer
 		st, err := runClassify(ctx, spec, specStream(spec), nil, func(v any) error {
 			enc, merr := json.Marshal(v)
@@ -186,6 +196,10 @@ func (s *Service) classifyMemo(ctx context.Context, spec ClassifySpec) (classify
 		s.records.Add(st.Records)
 		return classifyArtifact{Body: buf.Bytes(), Stats: st, Summary: true}, nil
 	})
+	sp.Bool("hit", hit)
+	sp.Err(err)
+	sp.End()
+	return art, hit, err
 }
 
 // classifySlug keys spec-path classifications in the memo cache.

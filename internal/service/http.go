@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -19,13 +21,16 @@ import (
 //	                    binary trace (any other content type) — NDJSON
 //	POST /v1/sweep      run an experiment sweep — NDJSON
 //	GET  /v1/jobs/{id}  job status, attempts, partial failures
+//	GET  /v1/trace/{job} the job's buffered trace spans — NDJSON
 //	GET  /healthz       200 ok / 503 draining
-//	GET  /metrics       expvar counters as JSON
+//	GET  /metrics       expvar counters as JSON;
+//	                    ?format=prometheus for the text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/trace/{job}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -135,14 +140,22 @@ func (s *Service) handleClassify(w http.ResponseWriter, r *http.Request) {
 	_ = http.NewResponseController(w).EnableFullDuplex()
 
 	client := clientID(r)
-	release, err := s.adm.Admit(r.Context(), client)
+	id := s.jobs.NewID()
+	ctx, root := obs.Start(obs.Inject(r.Context(), s.ring, id), "http.classify")
+	root.Str("client", client)
+	defer root.End()
+	r = r.WithContext(ctx)
+	defer func(t0 time.Time) { s.hClassif.ObserveDuration(time.Since(t0)) }(time.Now())
+
+	release, err := s.admit(r.Context(), client)
 	if err != nil {
+		root.Err(err)
 		writeErr(w, err)
 		return
 	}
 	defer release()
 
-	id := s.jobs.Create("classify", client)
+	s.jobs.CreateWithID(id, "classify", client)
 	w.Header().Set("X-Mct-Job", id)
 
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
@@ -150,6 +163,19 @@ func (s *Service) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.classifyUploadRequest(w, r, id)
+}
+
+// admit runs the admission gate under a span and the admission-wait
+// histogram — time spent here is backpressure, visible whether the
+// request was accepted or rejected.
+func (s *Service) admit(ctx context.Context, client string) (func(), error) {
+	t0 := time.Now()
+	_, sp := obs.Start(ctx, "service.admit")
+	release, err := s.adm.Admit(ctx, client)
+	sp.Err(err)
+	sp.End()
+	s.hAdmit.ObserveDuration(time.Since(t0))
+	return release, err
 }
 
 // classifySpecRequest handles the JSON-spec flavor of /v1/classify.
@@ -225,7 +251,11 @@ func (s *Service) classifyUploadRequest(w http.ResponseWriter, r *http.Request, 
 	}
 
 	nw := newNDJSONWriter(w)
+	_, sp := obs.Start(r.Context(), "classify.upload")
 	st, err := runClassify(r.Context(), spec, rd, rd.Err, nw.emit)
+	sp.Int("records", int64(st.Records))
+	sp.Err(err)
+	sp.End()
 	if err != nil {
 		// The status line is long gone; the error becomes the last record
 		// and the job's failure state.
@@ -270,14 +300,22 @@ func specFromQuery(r *http.Request) (ClassifySpec, error) {
 // those.
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	client := clientID(r)
-	release, err := s.adm.Admit(r.Context(), client)
+	id := s.jobs.NewID()
+	ctx, root := obs.Start(obs.Inject(r.Context(), s.ring, id), "http.sweep")
+	root.Str("client", client)
+	defer root.End()
+	r = r.WithContext(ctx)
+	defer func(t0 time.Time) { s.hSweep.ObserveDuration(time.Since(t0)) }(time.Now())
+
+	release, err := s.admit(r.Context(), client)
 	if err != nil {
+		root.Err(err)
 		writeErr(w, err)
 		return
 	}
 	defer release()
 
-	id := s.jobs.Create("sweep", client)
+	s.jobs.CreateWithID(id, "sweep", client)
 	w.Header().Set("X-Mct-Job", id)
 
 	var spec SweepSpec
@@ -342,8 +380,35 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
 }
 
-// handleMetrics serves GET /metrics: the service's expvar map as JSON.
-func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves GET /metrics: the service's expvar map as JSON
+// by default, or the Prometheus text exposition (version 0.0.4) with
+// ?format=prometheus. Metrics never sit behind the admission gate — a
+// draining or saturated instance must still be observable.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WriteText(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = fmt.Fprintln(w, s.vars.String())
+}
+
+// handleTrace serves GET /v1/trace/{job}: the job's spans still held by
+// the bounded ring, oldest first, as NDJSON. A known job whose spans
+// have been evicted returns an empty body — the ring is a tail, not an
+// archive.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("job")
+	if _, ok := s.jobs.Get(id); !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf("unknown job %q (evicted or never created)", id), Status: http.StatusNotFound})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, rec := range s.ring.ByTrace(id) {
+		_ = enc.Encode(rec)
+	}
 }

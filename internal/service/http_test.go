@@ -449,6 +449,39 @@ func TestHealthzAndDrain(t *testing.T) {
 	}
 }
 
+// TestMetricsServedWhileDraining pins that observability never sits
+// behind the admission gate: with the drain gate shut (new work 503s),
+// GET /metrics — both the JSON map and the Prometheus exposition — must
+// still answer 200. A draining instance that goes dark is exactly the
+// instance operators most need to watch.
+func TestMetricsServedWhileDraining(t *testing.T) {
+	s, srv := newTestService(t, Config{})
+	s.StartDrain()
+
+	reject := postJSON(t, srv.URL+"/v1/classify", `{"workload":"x"}`)
+	reject.Body.Close()
+	if reject.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("classify while draining = %d, want 503 (gate not shut?)", reject.StatusCode)
+	}
+
+	m := scrapeMetrics(t, srv.URL) // fails the test on any non-200 / non-JSON
+	if m["draining"] != 1 {
+		t.Errorf("draining gauge = %v, want 1", m["draining"])
+	}
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus metrics while draining = %d, want 200", resp.StatusCode)
+	}
+	body := string(readAll(t, resp.Body))
+	if !strings.Contains(body, "mct_draining 1\n") {
+		t.Errorf("exposition missing mct_draining 1:\n%s", body)
+	}
+}
+
 func TestJobNotFound(t *testing.T) {
 	_, srv := newTestService(t, Config{})
 	resp, err := http.Get(srv.URL + "/v1/jobs/no-such-job")

@@ -120,9 +120,22 @@ func newJobs(maxJobs int) *jobs {
 	}
 }
 
+// NewID allocates a job ID without registering anything — the handlers
+// need the ID before admission so admission-wait spans carry the job's
+// trace, but only admitted requests become registered jobs.
+func (js *jobs) NewID() string {
+	return fmt.Sprintf("%s-%06d", js.prefix, js.seq.Add(1))
+}
+
 // Create registers a new queued job and returns its ID.
 func (js *jobs) Create(kind, client string) string {
-	id := fmt.Sprintf("%s-%06d", js.prefix, js.seq.Add(1))
+	id := js.NewID()
+	js.CreateWithID(id, kind, client)
+	return id
+}
+
+// CreateWithID registers a new queued job under a pre-allocated ID.
+func (js *jobs) CreateWithID(id, kind, client string) {
 	j := &Job{ID: id, Kind: kind, Client: client, State: JobQueued, Created: time.Now()}
 	js.mu.Lock()
 	defer js.mu.Unlock()
@@ -132,7 +145,6 @@ func (js *jobs) Create(kind, client string) string {
 		delete(js.byID, js.order[0])
 		js.order = js.order[1:]
 	}
-	return id
 }
 
 // Get returns a snapshot of the job, or false if unknown (or evicted).

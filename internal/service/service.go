@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
@@ -64,6 +65,12 @@ type Config struct {
 
 	// MaxJobs bounds the in-memory job registry (oldest evicted).
 	MaxJobs int
+
+	// TraceSpans sizes the in-memory span ring backing GET
+	// /v1/trace/{job} (0 = default 4096). The ring is always on — spans
+	// cost a few hundred bytes each and the ring is bounded, so request
+	// traces are available without opt-in flags.
+	TraceSpans int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 1024
 	}
+	if c.TraceSpans == 0 {
+		c.TraceSpans = 4096
+	}
 	return c
 }
 
@@ -116,7 +126,19 @@ type Service struct {
 	start   time.Time
 	records counter // simulated records (instructions/accesses), for rate
 	retried counter
+	slow    counter // slow-task detections (fed by cmd/mctd's slow log)
 	vars    *expvar.Map
+
+	// Observability spine: a per-instance metric registry (Prometheus
+	// exposition), the span ring behind GET /v1/trace/{job}, and the
+	// request-path histograms. Per-instance, not process-global, so tests
+	// boot many services without colliding.
+	reg      *obs.Registry
+	ring     *obs.Ring
+	hAdmit   *obs.Histogram // seconds spent in the admission gate
+	hClassif *obs.Histogram // classify request duration, seconds
+	hSweep   *obs.Histogram // sweep request duration, seconds
+	hBatch   *obs.Histogram // classify batch sizes
 }
 
 // New builds a Service from cfg (zero fields defaulted). Callers own its
@@ -132,6 +154,8 @@ func New(cfg Config) *Service {
 	if !cfg.NoCache {
 		s.cache = runner.Open(cfg.CacheDir)
 	}
+	s.ring = obs.NewRing(cfg.TraceSpans)
+	s.reg = s.buildRegistry()
 	s.bat = newBatcher(cfg.BatchSize, cfg.BatchWait, s.runBatch)
 	s.vars = s.buildVars()
 	return s
@@ -171,6 +195,63 @@ func (s *Service) Cache() *runner.Cache { return s.cache }
 // test instances never collide in the process-global expvar registry;
 // cmd/mctd publishes it explicitly.
 func (s *Service) Vars() *expvar.Map { return s.vars }
+
+// Metrics returns the instance's Prometheus metric registry (the
+// naming-convention test and cmd/mctd's wiring read it).
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// TraceRing returns the instance's span ring; cmd/mctd injects it into
+// other exporters or tests read it directly.
+func (s *Service) TraceRing() *obs.Ring { return s.ring }
+
+// NoteSlowTask counts one slow-task detection (cmd/mctd's slow log
+// calls this alongside emitting the structured event).
+func (s *Service) NoteSlowTask() { s.slow.Add(1) }
+
+// buildRegistry declares the Prometheus-exposed metrics. Counters and
+// gauges read the same atomics the expvar map reads — registration is a
+// second view over one source of truth, never double accounting.
+func (s *Service) buildRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("mct_jobs_accepted_total", "Requests admitted past the admission gate.",
+		func() float64 { return float64(s.adm.accepted.Load()) })
+	r.Counter("mct_jobs_rejected_total", "Requests rejected (capacity, per-client cap, or draining).",
+		func() float64 {
+			return float64(s.adm.rejectedFull.Load() + s.adm.rejectedClient.Load() + s.adm.rejectedDrain.Load())
+		})
+	r.Counter("mct_jobs_retried_total", "Task retries performed by the supervision layer.",
+		func() float64 { return float64(s.retried.Load()) })
+	r.Counter("mct_records_total", "Simulated trace records processed.",
+		func() float64 { return float64(s.records.Load()) })
+	r.Counter("mct_cache_hits_total", "Memoization cache hits.",
+		func() float64 { h, _ := s.cache.Stats(); return float64(h) })
+	r.Counter("mct_cache_misses_total", "Memoization cache misses.",
+		func() float64 { _, m := s.cache.Stats(); return float64(m) })
+	r.Counter("mct_slow_tasks_total", "Task attempts flagged by the slow-task log.",
+		func() float64 { return float64(s.slow.Load()) })
+	r.Gauge("mct_queue_inflight", "Requests currently admitted and in flight.",
+		func() float64 { return float64(s.adm.Inflight()) })
+	r.Gauge("mct_queue_waiters", "Requests blocked waiting for an admission slot.",
+		func() float64 { return float64(s.adm.Waiters()) })
+	r.Gauge("mct_queue_capacity", "Configured admission capacity.",
+		func() float64 { return float64(s.cfg.Capacity) })
+	r.Gauge("mct_draining", "1 while the admission gate is shut for shutdown.",
+		func() float64 {
+			if s.adm.Draining() {
+				return 1
+			}
+			return 0
+		})
+	s.hAdmit = r.Histogram("mct_admission_wait_seconds",
+		"Time spent in the admission gate, accepted or rejected.", obs.LatencyBuckets)
+	s.hClassif = r.Histogram("mct_classify_duration_seconds",
+		"Classify request duration, admission to last byte.", obs.LatencyBuckets)
+	s.hSweep = r.Histogram("mct_sweep_duration_seconds",
+		"Sweep request duration, admission to last byte.", obs.LatencyBuckets)
+	s.hBatch = r.Histogram("mct_classify_batch_size",
+		"Classify requests coalesced per batch.", obs.SizeBuckets)
+	return r
+}
 
 // counter is a tiny expvar-compatible atomic counter.
 type counter struct{ v expvar.Int }
@@ -219,6 +300,20 @@ func (s *Service) buildVars() *expvar.Map {
 		}
 		return float64(s.records.Load()) / el
 	})
+	gauge("slow_tasks", func() any { return s.slow.Load() })
+	// Histogram digests, flattened to numbers: the expvar map stays
+	// decodable as map[string]float64 (a contract existing clients and
+	// tests rely on); full bucket detail lives in ?format=prometheus.
+	histDigest := func(prefix string, h *obs.Histogram) {
+		gauge(prefix+"_count", func() any { return h.Count() })
+		gauge(prefix+"_p50_ms", func() any { return h.Quantile(0.5) * 1000 })
+		gauge(prefix+"_p99_ms", func() any { return h.Quantile(0.99) * 1000 })
+	}
+	histDigest("admit_wait", s.hAdmit)
+	histDigest("classify_latency", s.hClassif)
+	histDigest("sweep_latency", s.hSweep)
+	gauge("batch_size_count", func() any { return s.hBatch.Count() })
+	gauge("batch_size_p50", func() any { return s.hBatch.Quantile(0.5) })
 	return m
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -120,6 +121,8 @@ func (s *Service) runSweep(ctx context.Context, p experiments.Params, arts []exp
 	for i, art := range arts {
 		art := art
 		tasks[i] = runner.NewTask("sweep/"+art.Slug, func(tctx context.Context) (sweepCell, error) {
+			_, sp := obs.Start(tctx, "cache.lookup")
+			sp.Str("experiment", art.Slug)
 			raw, hit, err := runner.Memo(s.cache, art.Slug, p, func() (json.RawMessage, error) {
 				if cerr := tctx.Err(); cerr != nil {
 					return nil, cerr
@@ -135,6 +138,9 @@ func (s *Service) runSweep(ctx context.Context, p experiments.Params, arts []exp
 				s.records.Add(p.Instructions)
 				return enc, nil
 			})
+			sp.Bool("hit", hit)
+			sp.Err(err)
+			sp.End()
 			if err != nil {
 				return sweepCell{}, err
 			}
