@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race ci bench bench-smoke chaos-smoke serve-smoke obs-smoke vulncheck fuzz clean-cache
+.PHONY: build vet test race ci bench bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke vulncheck fuzz clean-cache
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet race bench-smoke chaos-smoke serve-smoke obs-smoke vulncheck
+ci: vet race bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke vulncheck
 
 # Full hot-path benchmark sweep: the Go benchmarks for each package plus
 # the paperbench -bench report (BENCH_pr2.json). Use this for recorded
@@ -34,6 +34,25 @@ bench:
 # the AllocsPerRun regression tests under `make race`).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Batch-kernel smoke: the scalar-vs-batch differential property tests
+# under the race detector, then the tool pipeline end to end — generate a
+# legacy (v1) trace, convert it to the fixed-stride v2 format, check the
+# conversion is byte-identical to generating v2 directly, classify both
+# wire versions through the mmap-backed batch kernel, and require the two
+# classifications to agree line for line (the leading line names the input
+# file and is stripped before diffing).
+batch-smoke:
+	$(GO) test -race -count=1 -run 'TestClassifyBatchMatchesScalar|TestClassifyBatchAcrossWireFormats|TestClassifyUploadStreamsBeforeBodyComplete' ./internal/sim ./internal/service
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run -race ./cmd/tracegen -bench swim -n 20000 -seed 7 -format v1 -o $$tmp/swim.v1.mctr && \
+	$(GO) run -race ./cmd/tracegen -convert $$tmp/swim.v1.mctr -o $$tmp/swim.v2.mctr && \
+	$(GO) run -race ./cmd/tracegen -bench swim -n 20000 -seed 7 -format v2 -o $$tmp/swim.direct.mctr && \
+	cmp $$tmp/swim.v2.mctr $$tmp/swim.direct.mctr && \
+	$(GO) run -race ./cmd/mctsim -trace $$tmp/swim.v1.mctr | tail -n +2 > $$tmp/v1.out && \
+	$(GO) run -race ./cmd/mctsim -trace $$tmp/swim.v2.mctr | tail -n +2 > $$tmp/v2.out && \
+	diff $$tmp/v1.out $$tmp/v2.out && \
+	echo "batch-smoke: v1/v2 classifications identical"
 
 # Chaos smoke: the fault-tolerance acceptance tests (injected transient
 # faults converge to byte-identical output; hangs are cut by -task-timeout;
@@ -77,7 +96,8 @@ vulncheck:
 # corpus via `make test`, this target digs deeper locally.
 fuzz:
 	$(GO) test -fuzz FuzzReadTrace -fuzztime 30s ./internal/trace
-	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/trace
+	$(GO) test -fuzz 'FuzzRoundTrip$$' -fuzztime 30s ./internal/trace
+	$(GO) test -fuzz FuzzBatchRoundTrip -fuzztime 30s ./internal/trace
 
 # Drop all memoized experiment results (results/cache is also safely
 # deletable by hand; entries are invalidated automatically when the code

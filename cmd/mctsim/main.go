@@ -48,12 +48,21 @@ func main() {
 		slowBus   = flag.Bool("slowbus", false, "use the slow L1-L2 bus (Figure 4 setting)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		accuracy  = flag.Bool("accuracy", false, "also measure MCT accuracy against the classic oracle")
+		traceFile = flag.String("trace", "", "binary trace file to classify (batch kernel) instead of simulating a benchmark")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, b := range workload.Suite() {
 			fmt.Printf("%-10s %s\n", b.Name, b.Description)
+		}
+		return
+	}
+
+	if *traceFile != "" {
+		if err := classifyTrace(*traceFile, *l1Size, *l1Assoc, *tagBits); err != nil {
+			fmt.Fprintln(os.Stderr, "mctsim:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -114,15 +123,41 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mctsim:", err)
 			os.Exit(1)
 		}
-		st := trace.NewMemOnly(b.Stream(*seed))
-		var in trace.Instr
-		for n := uint64(0); n < *instrs && st.Next(&in); n++ {
-			run.Access(in.Addr, in.Op == trace.Store)
-		}
+		src := trace.NewLimit(trace.NewMemOnly(b.Stream(*seed)), *instrs)
+		sim.ClassifyBatched(run, trace.NewStreamBatcher(src), 0)
 		a := run.Acc
 		fmt.Printf("mct accuracy conflict %.1f%%  capacity %.1f%%  overall %.1f%%  (oracle conflict share %.1f%%)\n",
 			100*a.ConflictAccuracy(), 100*a.CapacityAccuracy(), 100*a.OverallAccuracy(), 100*a.ConflictShare())
 	}
+}
+
+// classifyTrace replays a binary trace file (either wire version) through
+// the classifying cache and the oracle via the mmap-backed batch kernel
+// and prints the classification summary.
+func classifyTrace(path string, l1Size, l1Assoc, tagBits int) error {
+	cfg := cache.Config{Name: "L1D", Size: l1Size, LineSize: 64, Assoc: l1Assoc}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m, err := trace.MapFile(path, trace.Limits{})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	run, err := classify.NewRun(cfg, tagBits)
+	if err != nil {
+		return err
+	}
+	accesses := sim.ClassifyBatched(run, m, 0)
+	a := run.Acc
+	compulsory, capacity, conflict := run.Oracle.Counts()
+	fmt.Printf("trace        %s (%d records)\n", path, m.Len())
+	fmt.Printf("cache        %d KB %d-way, MCT tagbits %d\n", cfg.Size/1024, cfg.Assoc, tagBits)
+	fmt.Printf("accesses     %d  misses %d\n", accesses, a.Misses())
+	fmt.Printf("oracle mix   compulsory %d  capacity %d  conflict %d\n", compulsory, capacity, conflict)
+	fmt.Printf("mct accuracy conflict %.1f%%  capacity %.1f%%  overall %.1f%%\n",
+		100*a.ConflictAccuracy(), 100*a.CapacityAccuracy(), 100*a.OverallAccuracy())
+	return nil
 }
 
 func nonzero(f float64) float64 {

@@ -46,7 +46,7 @@
 // paper's artifacts it benchmarks the simulation hot paths (cache access,
 // oracle observe, fully-associative reference, workload generation,
 // end-to-end instructions/second) and writes the machine-readable report
-// to -benchout (default BENCH_pr2.json; see DESIGN.md for the schema) so
+// to -benchout (default BENCH_pr6.json; see DESIGN.md for the schema) so
 // the repo accumulates a performance trajectory PR over PR.
 //
 // -cpuprofile/-memprofile write pprof profiles covering the whole run —
@@ -106,7 +106,7 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		inject       = fs.String("inject", "", "fault-injection schedule for chaos testing, e.g. 'error:2' or 'hang@fig5,panic@sim' (see internal/faultinject)")
 
 		bench    = fs.Bool("bench", false, "benchmark the simulation hot paths and write -benchout instead of running experiments")
-		benchOut = fs.String("benchout", "BENCH_pr2.json", "machine-readable benchmark report path (with -bench)")
+		benchOut = fs.String("benchout", "BENCH_pr6.json", "machine-readable benchmark report path (with -bench)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile covering the whole run (worker pool included)")
 		memProf  = fs.String("memprofile", "", "write a heap profile at the end of the run")
 

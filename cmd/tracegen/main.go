@@ -1,9 +1,14 @@
 // Command tracegen emits a synthetic benchmark's instruction stream in the
-// repository's binary trace format, or inspects an existing trace file.
+// repository's binary trace format, converts legacy traces to the current
+// format, or inspects an existing trace file.
 //
-// Generate:
+// Generate (fixed-stride v2 format by default):
 //
-//	tracegen -bench swim -n 1000000 -o swim.mctr [-seed N]
+//	tracegen -bench swim -n 1000000 -o swim.mctr [-seed N] [-format v1|v2]
+//
+// Convert a legacy (v1) trace to the fixed-stride v2 format:
+//
+//	tracegen -convert old.mctr -o new.mctr
 //
 // Inspect:
 //
@@ -29,29 +34,32 @@ func main() {
 		n         = flag.Uint64("n", 1_000_000, "instructions to emit")
 		out       = flag.String("o", "", "output file (default <bench>.mctr)")
 		seed      = flag.Uint64("seed", workload.DefaultSeed, "workload seed")
+		format    = flag.String("format", "v2", "wire format to emit: v2 (fixed-stride) or v1 (legacy packed)")
+		convert   = flag.String("convert", "", "trace file to rewrite in the v2 format instead of generating")
 		dump      = flag.String("dump", "", "trace file to inspect instead of generating")
 		head      = flag.Int("head", 10, "records to print when dumping")
 	)
 	flag.Parse()
 
+	var err error
 	switch {
 	case *dump != "":
-		if err := dumpTrace(*dump, *head); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
-		}
+		err = dumpTrace(*dump, *head)
+	case *convert != "":
+		err = convertTrace(*convert, *out)
 	case *benchName != "":
-		if err := generate(*benchName, *out, *n, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
-		}
+		err = generate(*benchName, *out, *n, *seed, *format)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 }
 
-func generate(bench, out string, n, seed uint64) error {
+func generate(bench, out string, n, seed uint64, format string) error {
 	b, ok := workload.ByName(bench)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q", bench)
@@ -64,14 +72,67 @@ func generate(bench, out string, n, seed uint64) error {
 		return err
 	}
 	defer f.Close()
-	written, err := trace.WriteAll(f, trace.NewLimit(b.Stream(seed), n))
+	src := trace.NewLimit(b.Stream(seed), n)
+	var written uint64
+	switch format {
+	case "v1":
+		written, err = trace.WriteAll(f, src)
+	case "v2":
+		written, err = writeAllV2(f, src)
+	default:
+		return fmt.Errorf("unknown format %q (valid: v1, v2)", format)
+	}
 	if err != nil {
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d instructions of %s (seed %d) to %s\n", written, bench, seed, out)
+	fmt.Printf("wrote %d instructions of %s (seed %d) to %s (%s)\n", written, bench, seed, out, format)
+	return nil
+}
+
+// writeAllV2 streams src into a fixed-stride v2 trace one SoA batch at a
+// time.
+func writeAllV2(f *os.File, src trace.Stream) (uint64, error) {
+	w, err := trace.NewWriterV2(f, 0)
+	if err != nil {
+		return 0, err
+	}
+	sb := trace.NewStreamBatcher(src)
+	b := trace.NewBatch(trace.DefaultBatchSize)
+	for sb.ReadBatch(b, trace.DefaultBatchSize) > 0 {
+		if err := w.WriteBatch(b); err != nil {
+			return w.Count(), err
+		}
+	}
+	return w.Count(), w.Flush()
+}
+
+// convertTrace rewrites a trace of any supported version (in practice: a
+// legacy v1 capture) in the fixed-stride v2 format.
+func convertTrace(in, out string) error {
+	if out == "" {
+		out = in + ".v2"
+	}
+	src, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dst, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	n, err := trace.Transcode(dst, src, trace.Limits{})
+	if err != nil {
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d records from %s to %s (v2)\n", n, in, out)
 	return nil
 }
 

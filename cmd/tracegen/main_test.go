@@ -12,7 +12,7 @@ import (
 func TestGenerateWritesReplayableTrace(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "t.mctr")
-	if err := generate("li", out, 5000, 42); err != nil {
+	if err := generate("li", out, 5000, 42, "v2"); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -42,7 +42,7 @@ func TestGenerateWritesReplayableTrace(t *testing.T) {
 }
 
 func TestGenerateRejectsUnknownBenchmark(t *testing.T) {
-	if err := generate("doom", filepath.Join(t.TempDir(), "x"), 10, 1); err == nil {
+	if err := generate("doom", filepath.Join(t.TempDir(), "x"), 10, 1, "v2"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -50,7 +50,7 @@ func TestGenerateRejectsUnknownBenchmark(t *testing.T) {
 func TestDumpTrace(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "t.mctr")
-	if err := generate("go", out, 200, 7); err != nil {
+	if err := generate("go", out, 200, 7, "v1"); err != nil {
 		t.Fatal(err)
 	}
 	if err := dumpTrace(out, 5); err != nil {

@@ -188,6 +188,22 @@ func (f *FullyAssociative) Reference(line mem.LineAddr) bool {
 	return false
 }
 
+// ReferenceBatch performs one LRU reference per line, recording each hit
+// verdict in hits (which must be at least as long as lines). References
+// are applied in slice order — the recency each reference observes
+// includes every earlier reference in the batch, exactly as if Reference
+// had been called in a loop. The batch entry point exists to amortize call
+// overhead in the oracle classifier's struct-of-arrays kernel.
+func (f *FullyAssociative) ReferenceBatch(lines []mem.LineAddr, hits []bool) {
+	if len(lines) == 0 {
+		return
+	}
+	hits = hits[:len(lines)]
+	for i, line := range lines {
+		hits[i] = f.Reference(line)
+	}
+}
+
 // Contains reports presence without updating recency.
 func (f *FullyAssociative) Contains(line mem.LineAddr) bool {
 	return f.index.get(line) != faNil

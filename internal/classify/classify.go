@@ -85,6 +85,11 @@ type Oracle struct {
 	touched mem.LineSet
 
 	counts [numMissKinds]uint64
+
+	// ObserveBatch staging scratch, sized to the largest batch seen.
+	lines []mem.LineAddr
+	seen  []bool
+	faHit []bool
 }
 
 // NewOracle builds an oracle for a cache with the given configuration.
@@ -136,6 +141,53 @@ func (o *Oracle) Observe(addr mem.Addr, realHit bool) Kind {
 	}
 	o.counts[k]++
 	return k
+}
+
+// ObserveBatch records a block of accesses, writing each verdict to kinds
+// (same length as addrs; realHit[i] reports whether access i hit the real
+// cache). It is Observe staged per structure over the batch: line
+// extraction, then the touched bitmap, then the fully-associative LRU,
+// then the verdicts — each structure's state walked in one tight loop
+// rather than interleaved per record. Ordering within each structure is
+// preserved (record i's LRU reference precedes record i+1's), so the
+// verdicts and counters are identical to calling Observe in a loop.
+func (o *Oracle) ObserveBatch(addrs []mem.Addr, realHit []bool, kinds []Kind) {
+	n := len(addrs)
+	if n == 0 {
+		return
+	}
+	realHit = realHit[:n]
+	kinds = kinds[:n]
+	if cap(o.lines) < n {
+		o.lines = make([]mem.LineAddr, n)
+		o.seen = make([]bool, n)
+		o.faHit = make([]bool, n)
+	}
+	lines, seen, faHit := o.lines[:n], o.seen[:n], o.faHit[:n]
+	for i, addr := range addrs {
+		lines[i] = o.geom.Line(addr)
+	}
+	for i, line := range lines {
+		seen[i] = o.touched.TestAndSet(line)
+	}
+	o.fa.ReferenceBatch(lines, faHit)
+	for i := range lines {
+		if realHit[i] {
+			kinds[i] = Hit
+			continue
+		}
+		var k Kind
+		switch {
+		case !seen[i]:
+			k = Compulsory
+		case faHit[i]:
+			k = Conflict
+		default:
+			k = Capacity
+		}
+		o.counts[k]++
+		kinds[i] = k
+	}
 }
 
 // Counts returns how many misses the oracle has labeled compulsory,
@@ -234,6 +286,14 @@ type Run struct {
 	CC     *core.ClassifyingCache
 	Oracle *Oracle
 	Acc    Accuracy
+
+	// Per-record results of the most recent AccessBatch, all sharing that
+	// batch's length: Hits[i] reports whether access i hit the real cache;
+	// for misses, Kinds[i] is the oracle verdict and Classes[i] the MCT
+	// verdict (both meaningless for hits). Valid until the next AccessBatch.
+	Hits    []bool
+	Kinds   []Kind
+	Classes []core.Class
 }
 
 // NewRun builds the lockstep measurement over a cache configuration with an
@@ -255,11 +315,42 @@ func NewRun(cfg cache.Config, tagBits int) (*Run, error) {
 }
 
 // Access plays one access through both models, updating the accuracy
-// accumulator on a miss.
+// accumulator on a miss. It is the scalar reference implementation that
+// the batched kernel (AccessBatch) is differentially tested against.
 func (r *Run) Access(addr mem.Addr, isStore bool) {
 	hit, ev := r.CC.Access(addr, isStore)
 	kind := r.Oracle.Observe(addr, hit)
 	if !hit {
 		r.Acc.Record(kind, ev.Class)
+	}
+}
+
+// AccessBatch plays a block of accesses through both models — the
+// struct-of-arrays fast path. The work is staged per structure (real
+// cache + MCT, then oracle, then accuracy) so each stage runs as one
+// tight loop over parallel arrays; within each stage records are applied
+// in order, making the outcome identical to calling Access in a loop.
+// Per-record verdicts are left in r.Hits/r.Kinds/r.Classes for callers
+// that report individual accesses. Steady-state allocation-free: the
+// result arrays grow to the largest batch and are reused.
+func (r *Run) AccessBatch(addrs []mem.Addr, stores []bool) {
+	n := len(addrs)
+	if cap(r.Hits) < n {
+		r.Hits = make([]bool, n)
+		r.Kinds = make([]Kind, n)
+		r.Classes = make([]core.Class, n)
+	}
+	r.Hits = r.Hits[:n]
+	r.Kinds = r.Kinds[:n]
+	r.Classes = r.Classes[:n]
+	if n == 0 {
+		return
+	}
+	r.CC.AccessBatch(addrs, stores, r.Hits, r.Classes)
+	r.Oracle.ObserveBatch(addrs, r.Hits, r.Kinds)
+	for i, hit := range r.Hits {
+		if !hit {
+			r.Acc.Record(r.Kinds[i], r.Classes[i])
+		}
 	}
 }

@@ -280,3 +280,27 @@ func TestObserveSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("Oracle.Observe steady state allocates %v allocs/op, want 0", avg)
 	}
 }
+
+// TestAccessBatchSteadyStateAllocs pins the batched classification kernel
+// at zero allocations per batch: once the result arrays and the oracle's
+// staging scratch have grown to the working batch size, replaying batches
+// must not touch the heap. This is the kernel every batch consumer
+// (mctsim -trace, the service upload path, perf's sim.endtoend.batch)
+// sits on.
+func TestAccessBatchSteadyStateAllocs(t *testing.T) {
+	run, err := NewRun(benchConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := benchAddrs(256)
+	stores := make([]bool, len(addrs))
+	for i := range stores {
+		stores[i] = i%5 == 0
+	}
+	run.AccessBatch(addrs, stores) // warm: grow results and scratch, touch lines
+	if avg := testing.AllocsPerRun(1000, func() {
+		run.AccessBatch(addrs, stores)
+	}); avg != 0 {
+		t.Fatalf("Run.AccessBatch steady state allocates %v allocs/batch, want 0", avg)
+	}
+}

@@ -17,6 +17,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/hier"
 	"repro/internal/mem"
@@ -124,6 +125,15 @@ type CPU struct {
 	count      int
 	intQ, fpQ  int // unissued occupancy per queue
 
+	// unissued is a bitmask over ROB slots with a dispatched-but-unissued
+	// entry. The issue stage iterates only these bits instead of scanning
+	// every occupied slot: in steady state most in-flight instructions have
+	// already issued (they sit in the ROB awaiting in-order retirement
+	// behind a long-latency load), so a full scan wastes almost all of its
+	// work. The bit is set at dispatch and cleared at issue; retirement
+	// never needs to touch it because only issued entries retire.
+	unissued []uint64
+
 	// rat is the register alias table: the ROB slot and sequence number of
 	// each architectural register's latest in-flight producer.
 	rat    [trace.NumRegs]int
@@ -142,6 +152,12 @@ type CPU struct {
 	fetchLine mem.LineAddr
 	pending   bool
 	pendingIn trace.Instr
+
+	// scratchIn is the fetch stage's decode buffer. Streams are consumed
+	// through the trace.Stream interface, so a loop-local Instr passed to
+	// Next escapes and costs one heap allocation per instruction; reusing
+	// a field keeps fetch allocation-free.
+	scratchIn trace.Instr
 }
 
 // New builds a CPU over a memory hierarchy.
@@ -154,6 +170,7 @@ func New(cfg Config, h *hier.Hierarchy) (*CPU, error) {
 		h:         h,
 		pred:      make([]uint8, cfg.PredictorSz),
 		rob:       make([]robEntry, cfg.ROBSize),
+		unissued:  make([]uint64, (cfg.ROBSize+63)/64),
 		blockedOn: -1,
 	}
 	for i := range c.rat {
@@ -173,6 +190,16 @@ func MustNew(cfg Config, h *hier.Hierarchy) *CPU {
 
 // Run executes up to maxInstrs instructions from the stream (or until it
 // ends) and returns the metrics. A zero maxInstrs means run to stream end.
+//
+// The loop is event-driven where it can be: when a cycle retires nothing,
+// issues nothing, hits no structural limit, and fetches nothing, every
+// following cycle is identical until the next completion event (an issued
+// instruction's done time or the fetch-resume cycle), so the clock jumps
+// straight there. Skipped cycles touch no simulator state — no hierarchy
+// access, no counter, no LRU update — so the metrics are bit-identical to
+// stepping cycle by cycle; only the wall time changes. Low-IPC (memory-
+// bound) regions, where most cycles are pure stall, are exactly where the
+// simulator used to burn most of its time.
 func (c *CPU) Run(s trace.Stream, maxInstrs uint64) Metrics {
 	c.retireTarget = maxInstrs
 	cycle := uint64(0)
@@ -181,26 +208,66 @@ func (c *CPU) Run(s trace.Stream, maxInstrs uint64) Metrics {
 		if c.cfg.MaxCycles != 0 && cycle > c.cfg.MaxCycles {
 			break
 		}
-		c.retire(cycle)
+		retired := c.retire(cycle)
 		if c.retireTarget != 0 && c.metrics.Instructions >= c.retireTarget {
 			break
 		}
-		c.issue(cycle)
-		c.fetch(cycle, s)
+		issued, limited := c.issue(cycle)
+		fetched := c.fetch(cycle, s)
 		if c.count == 0 && c.streamEnded {
 			break
+		}
+		if retired == 0 && issued == 0 && fetched == 0 && !limited {
+			if next, ok := c.nextEvent(cycle); ok && next > cycle+1 {
+				if c.cfg.MaxCycles != 0 && next > c.cfg.MaxCycles+1 {
+					next = c.cfg.MaxCycles + 1
+				}
+				cycle = next - 1
+			}
 		}
 	}
 	c.metrics.Cycles = cycle
 	return c.metrics
 }
 
-// retire commits completed instructions in order, up to issue width.
-func (c *CPU) retire(cycle uint64) {
-	for n := 0; n < c.cfg.IssueWidth && c.count > 0; n++ {
+// nextEvent returns the earliest future cycle at which the machine's state
+// can change while the pipeline is quiescent: the soonest completion time
+// of an issued, unretired instruction, or the fetch-resume cycle. ok is
+// false when no such event exists.
+//
+// This is sound because a quiescent cycle (nothing retired, issued, or
+// fetched; no structural-hazard retry pending) can only be ended by one of
+// those times arriving: every unissued instruction waits, directly or
+// through a chain of unissued producers, on an issued instruction's done
+// time (a chain cannot be circular — the oldest unissued link's producers
+// have all retired or issued), and the front end waits on retirement, on
+// fetchResume, or on the blocking branch issuing.
+func (c *CPU) nextEvent(cycle uint64) (uint64, bool) {
+	earliest := ^uint64(0)
+	for i, idx := 0, c.head; i < c.count; i++ {
+		e := &c.rob[idx]
+		if e.issued && e.done > cycle && e.done < earliest {
+			earliest = e.done
+		}
+		idx++
+		if idx == c.cfg.ROBSize {
+			idx = 0
+		}
+	}
+	if !c.streamEnded && c.fetchResume > cycle && c.fetchResume < earliest {
+		earliest = c.fetchResume
+	}
+	return earliest, earliest != ^uint64(0)
+}
+
+// retire commits completed instructions in order, up to issue width,
+// returning how many retired.
+func (c *CPU) retire(cycle uint64) int {
+	n := 0
+	for ; n < c.cfg.IssueWidth && c.count > 0; n++ {
 		e := &c.rob[c.head]
 		if !e.issued || e.done > cycle {
-			return
+			return n
 		}
 		c.metrics.Instructions++
 		switch e.in.Op {
@@ -211,89 +278,139 @@ func (c *CPU) retire(cycle uint64) {
 		case trace.Branch:
 			c.metrics.Branches++
 		}
-		c.head = (c.head + 1) % c.cfg.ROBSize
+		c.head++
+		if c.head == c.cfg.ROBSize {
+			c.head = 0
+		}
 		c.count--
 	}
+	return n
 }
 
 // issue wakes up ready instructions out of order, respecting functional
-// unit counts and issue width.
-func (c *CPU) issue(cycle uint64) {
+// unit counts and issue width. Candidates come from the unissued bitmask,
+// walked in ring order from the ROB head: slot order over [head, size)
+// then [0, head) is exactly age order for the occupied window, and slots
+// outside it carry no bits, so the walk visits the same entries in the
+// same order as a full ROB scan at a fraction of the cost.
+func (c *CPU) issue(cycle uint64) (nIssued int, limited bool) {
 	issued, lsu, ialu, falu := 0, 0, 0, 0
-	for i, idx := 0, c.head; i < c.count && issued < c.cfg.IssueWidth; i, idx = i+1, (idx+1)%c.cfg.ROBSize {
-		e := &c.rob[idx]
-		if e.issued {
-			continue
-		}
-		if !c.operandReady(e.p1, e.p1seq, cycle) || !c.operandReady(e.p2, e.p2seq, cycle) {
-			continue
-		}
-		fp := e.in.Op.IsFP()
-		switch {
-		case e.in.Op.IsMem():
-			if lsu >= c.cfg.LSUs {
-				continue
+	size := c.cfg.ROBSize
+	lo, hi := c.head, size
+	for seg := 0; seg < 2; seg++ {
+		for base := lo &^ 63; base < hi; base += 64 {
+			w := c.unissued[base>>6]
+			if lo > base {
+				w &= ^uint64(0) << uint(lo-base)
 			}
-		case fp:
-			if falu >= c.cfg.FPALUs {
-				continue
+			if hi-base < 64 {
+				w &= uint64(1)<<uint(hi-base) - 1
 			}
-		default:
-			if ialu >= c.cfg.IntALUs {
-				continue
+			for w != 0 {
+				idx := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				switch c.tryIssue(idx, cycle, &lsu, &ialu, &falu) {
+				case issueNotReady:
+					continue
+				case issueLimited:
+					limited = true
+					continue
+				}
+				if issued++; issued >= c.cfg.IssueWidth {
+					return issued, limited
+				}
 			}
 		}
+		lo, hi = 0, c.head
+	}
+	return issued, limited
+}
 
-		var done uint64
-		switch e.in.Op {
-		case trace.Load:
-			res := c.h.Access(cycle, mem.Access{Addr: e.in.Addr, PC: e.in.PC, Type: mem.Load})
-			if res.Stall {
-				// MSHRs exhausted: the load waits; it will retry. Count it
-				// and consume the LSU slot so younger loads don't bypass
-				// the stall this cycle.
-				c.metrics.LoadStallRetries++
-				lsu++
-				continue
-			}
-			done = res.Done
-		case trace.Store:
-			// Stores drain through a store buffer: the hierarchy sees the
-			// access (bandwidth, MSHR, classification) but dependents and
-			// retirement do not wait for the line.
-			res := c.h.Access(cycle, mem.Access{Addr: e.in.Addr, PC: e.in.PC, Type: mem.Store})
-			if res.Stall {
-				c.metrics.LoadStallRetries++
-				lsu++
-				continue
-			}
-			done = cycle + 1
-		default:
-			done = cycle + uint64(e.in.Op.ExecLatency())
-		}
+// issueStatus is tryIssue's outcome: issued, operands not ready (the entry
+// waits on a completion event), or structurally limited (a functional unit
+// or MSHR was exhausted — the entry could retry as soon as next cycle, so
+// the event-skipping fast path must not engage).
+type issueStatus uint8
 
-		e.issued = true
-		e.done = done
-		if e.in.Op.IsMem() {
-			lsu++
-		} else if fp {
-			falu++
-		} else {
-			ialu++
+const (
+	issueOK issueStatus = iota
+	issueNotReady
+	issueLimited
+)
+
+// tryIssue attempts to issue the unissued entry in ROB slot idx at cycle,
+// charging the functional-unit counters.
+func (c *CPU) tryIssue(idx int, cycle uint64, lsu, ialu, falu *int) issueStatus {
+	e := &c.rob[idx]
+	if !c.operandReady(e.p1, e.p1seq, cycle) || !c.operandReady(e.p2, e.p2seq, cycle) {
+		return issueNotReady
+	}
+	fp := e.in.Op.IsFP()
+	switch {
+	case e.in.Op.IsMem():
+		if *lsu >= c.cfg.LSUs {
+			return issueLimited
 		}
-		issued++
-		if fp {
-			c.fpQ--
-		} else {
-			c.intQ--
+	case fp:
+		if *falu >= c.cfg.FPALUs {
+			return issueLimited
 		}
-		// A resolving mispredicted branch restarts fetch after the refill
-		// penalty.
-		if c.blockedOn == idx {
-			c.blockedOn = -1
-			c.fetchResume = done + uint64(c.cfg.MispredictPenalty)
+	default:
+		if *ialu >= c.cfg.IntALUs {
+			return issueLimited
 		}
 	}
+
+	var done uint64
+	switch e.in.Op {
+	case trace.Load:
+		res := c.h.Access(cycle, mem.Access{Addr: e.in.Addr, PC: e.in.PC, Type: mem.Load})
+		if res.Stall {
+			// MSHRs exhausted: the load waits; it will retry. Count it
+			// and consume the LSU slot so younger loads don't bypass
+			// the stall this cycle.
+			c.metrics.LoadStallRetries++
+			*lsu++
+			return issueLimited
+		}
+		done = res.Done
+	case trace.Store:
+		// Stores drain through a store buffer: the hierarchy sees the
+		// access (bandwidth, MSHR, classification) but dependents and
+		// retirement do not wait for the line.
+		res := c.h.Access(cycle, mem.Access{Addr: e.in.Addr, PC: e.in.PC, Type: mem.Store})
+		if res.Stall {
+			c.metrics.LoadStallRetries++
+			*lsu++
+			return issueLimited
+		}
+		done = cycle + 1
+	default:
+		done = cycle + uint64(e.in.Op.ExecLatency())
+	}
+
+	e.issued = true
+	e.done = done
+	c.unissued[idx>>6] &^= uint64(1) << uint(idx&63)
+	if e.in.Op.IsMem() {
+		*lsu++
+	} else if fp {
+		*falu++
+	} else {
+		*ialu++
+	}
+	if fp {
+		c.fpQ--
+	} else {
+		c.intQ--
+	}
+	// A resolving mispredicted branch restarts fetch after the refill
+	// penalty.
+	if c.blockedOn == idx {
+		c.blockedOn = -1
+		c.fetchResume = done + uint64(c.cfg.MispredictPenalty)
+	}
+	return issueOK
 }
 
 // fetch brings new instructions into the ROB and queues, in order, unless
@@ -301,31 +418,31 @@ func (c *CPU) issue(cycle uint64) {
 // instruction cache is attached to the hierarchy, crossing into a new
 // instruction line costs an I-fetch; a miss stalls the front end until
 // the line arrives.
-func (c *CPU) fetch(cycle uint64, s trace.Stream) {
+func (c *CPU) fetch(cycle uint64, s trace.Stream) (dispatched int) {
 	if c.streamEnded || cycle < c.fetchResume || c.blockedOn >= 0 {
-		return
+		return 0
 	}
 	if c.retireTarget != 0 && c.metrics.Instructions >= c.retireTarget {
-		return
+		return 0
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if c.count >= c.cfg.ROBSize {
-			return
+			return dispatched
 		}
 		// Peek queue-space before consuming. Since streams are infinite or
 		// long, consuming then failing to place would lose instructions;
 		// stop before reading when either queue is full.
 		if c.intQ >= c.cfg.IntQSize || c.fpQ >= c.cfg.FPQSize {
-			return
+			return dispatched
 		}
-		var in trace.Instr
+		in := &c.scratchIn
 		if c.pending {
 			// An instruction held back by an instruction-cache stall.
-			in = c.pendingIn
+			*in = c.pendingIn
 			c.pending = false
-		} else if !s.Next(&in) {
+		} else if !s.Next(in) {
 			c.streamEnded = true
-			return
+			return dispatched
 		}
 		// Crossing into a new instruction line costs an I-fetch; a miss
 		// holds the instruction and stalls the front end until the line
@@ -334,32 +451,44 @@ func (c *CPU) fetch(cycle uint64, s trace.Stream) {
 			res := c.h.IFetch(cycle, in.PC)
 			if res.Stall {
 				c.fetchResume = res.RetryAt
-				c.pendingIn, c.pending = in, true
-				return
+				c.pendingIn, c.pending = *in, true
+				return dispatched
 			}
 			c.fetchLine = line
 			if res.Done > cycle+1 {
 				c.fetchResume = res.Done
-				c.pendingIn, c.pending = in, true
-				return
+				c.pendingIn, c.pending = *in, true
+				return dispatched
 			}
 		}
 		idx := c.tail
 		c.seq++
-		e := robEntry{in: in, seq: c.seq, p1: -1, p2: -1}
+		e := &c.rob[idx]
+		// Field-wise reset: a composite literal here costs a duffcopy of
+		// the whole entry per fetched instruction.
+		e.in = *in
+		e.seq = c.seq
+		e.issued = false
+		e.done = 0
+		e.p1, e.p2 = -1, -1
+		e.p1seq, e.p2seq = 0, 0
 		if in.Src1 != trace.RegZero && c.rat[in.Src1] >= 0 {
 			e.p1, e.p1seq = c.rat[in.Src1], c.ratSeq[in.Src1]
 		}
 		if in.Src2 != trace.RegZero && c.rat[in.Src2] >= 0 {
 			e.p2, e.p2seq = c.rat[in.Src2], c.ratSeq[in.Src2]
 		}
-		c.rob[idx] = e
+		c.unissued[idx>>6] |= uint64(1) << uint(idx&63)
 		if in.Dest != trace.RegZero {
 			c.rat[in.Dest] = idx
 			c.ratSeq[in.Dest] = c.seq
 		}
-		c.tail = (c.tail + 1) % c.cfg.ROBSize
+		c.tail++
+		if c.tail == c.cfg.ROBSize {
+			c.tail = 0
+		}
 		c.count++
+		dispatched++
 		if in.Op.IsFP() {
 			c.fpQ++
 		} else {
@@ -370,11 +499,12 @@ func (c *CPU) fetch(cycle uint64, s trace.Stream) {
 				c.metrics.Mispredicts++
 				c.blockedOn = idx
 				c.train(in.PC, in.Taken)
-				return // fetch squashed until the branch resolves
+				return dispatched // fetch squashed until the branch resolves
 			}
 			c.train(in.PC, in.Taken)
 		}
 	}
+	return dispatched
 }
 
 // operandReady reports whether a renamed operand's value is available at

@@ -132,7 +132,7 @@ type Hierarchy struct {
 	busBusy   uint64
 	memBusy   uint64
 
-	pending map[mem.LineAddr]uint64 // in-flight line -> ready cycle
+	pending []pendingMiss // in-flight line fills, bounded by the MSHR count
 
 	// Instruction side (optional; see icache.go).
 	isys      assist.System
@@ -162,7 +162,7 @@ func New(cfg Config, sys assist.System) (*Hierarchy, error) {
 		l2:       l2,
 		geom:     geom,
 		bankBusy: make([]uint64, cfg.L1Banks),
-		pending:  make(map[mem.LineAddr]uint64),
+		pending:  make([]pendingMiss, 0, cfg.MSHRs+1),
 	}, nil
 }
 
@@ -184,22 +184,57 @@ func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
 // Stats returns a snapshot of the timing counters.
 func (h *Hierarchy) Stats() Stats { return h.stats }
 
+// pendingMiss is one in-flight line fill: the line and the cycle its data
+// is ready. The set never outgrows the MSHR count by more than the
+// completed-but-unpurged entries, so a flat slice with linear lookups
+// beats the map it replaced: no hashing on the per-access membership
+// probe, no iterator machinery in inflight's purge. Both counting and the
+// earliest-completion minimum are order-independent, so the change cannot
+// perturb timing.
+type pendingMiss struct {
+	line  mem.LineAddr
+	ready uint64
+}
+
+// pendingReady returns the completion cycle of an in-flight line, if any.
+func (h *Hierarchy) pendingReady(line mem.LineAddr) (uint64, bool) {
+	for i := range h.pending {
+		if h.pending[i].line == line {
+			return h.pending[i].ready, true
+		}
+	}
+	return 0, false
+}
+
+// setPending records (or refreshes) a line's completion cycle.
+func (h *Hierarchy) setPending(line mem.LineAddr, ready uint64) {
+	for i := range h.pending {
+		if h.pending[i].line == line {
+			h.pending[i].ready = ready
+			return
+		}
+	}
+	h.pending = append(h.pending, pendingMiss{line: line, ready: ready})
+}
+
 // inflight returns how many misses are outstanding at cycle now, purging
 // completed entries as a side effect, and the earliest completion time.
 func (h *Hierarchy) inflight(now uint64) (int, uint64) {
-	n := 0
 	earliest := ^uint64(0)
-	for line, ready := range h.pending {
+	for i := 0; i < len(h.pending); {
+		ready := h.pending[i].ready
 		if ready <= now {
-			delete(h.pending, line)
+			last := len(h.pending) - 1
+			h.pending[i] = h.pending[last]
+			h.pending = h.pending[:last]
 			continue
 		}
-		n++
 		if ready < earliest {
 			earliest = ready
 		}
+		i++
 	}
-	return n, earliest
+	return len(h.pending), earliest
 }
 
 // bank returns the L1 bank serving addr (interleaved by line).
@@ -229,7 +264,7 @@ func (h *Hierarchy) Access(now uint64, acc mem.Access) Result {
 	inL1, inBuf := h.sys.Contains(acc.Addr)
 	line := mem.LineAddr(uint64(acc.Addr) >> 6)
 	if !inL1 && !inBuf {
-		if _, already := h.pending[line]; !already {
+		if _, already := h.pendingReady(line); !already {
 			if n, earliest := h.inflight(now); n >= h.cfg.MSHRs {
 				h.stats.MSHRStalls++
 				return Result{Stall: true, RetryAt: earliest}
@@ -274,7 +309,7 @@ func (h *Hierarchy) Access(now uint64, acc mem.Access) Result {
 
 	default: // L2-bound miss
 		done = h.missPath(start, acc, out)
-		h.pending[line] = done
+		h.setPending(line, done)
 		h.bankBusy[b] = start + 1
 		if out.BufferFill {
 			// Stashing the displaced line (victim fill or bypass) reads
@@ -286,7 +321,7 @@ func (h *Hierarchy) Access(now uint64, acc mem.Access) Result {
 
 	// A line still in flight bounds completion from below (merged miss or
 	// in-flight prefetch).
-	if ready, ok := h.pending[line]; ok && ready > done {
+	if ready, ok := h.pendingReady(line); ok && ready > done {
 		done = ready
 	}
 
@@ -337,7 +372,7 @@ func (h *Hierarchy) missPath(start uint64, acc mem.Access, out assist.Outcome) u
 // issuePrefetch sends a prefetch down the miss path if an MSHR is free;
 // otherwise it is discarded (paper Sec 4: "prefetches are discarded").
 func (h *Hierarchy) issuePrefetch(now uint64, line mem.LineAddr) {
-	if _, already := h.pending[line]; already {
+	if _, already := h.pendingReady(line); already {
 		return
 	}
 	if n, _ := h.inflight(now); n >= h.cfg.MSHRs {
@@ -346,7 +381,7 @@ func (h *Hierarchy) issuePrefetch(now uint64, line mem.LineAddr) {
 	}
 	addr := mem.Addr(uint64(line) << 6)
 	ready := h.missPath(now, mem.Access{Addr: addr, Type: mem.PrefetchRead}, assist.Outcome{})
-	h.pending[line] = ready
+	h.setPending(line, ready)
 	h.stats.PrefetchesSent++
 	h.sys.PrefetchArrived(line)
 }

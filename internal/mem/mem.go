@@ -72,6 +72,7 @@ type Geometry struct {
 	lineShift uint
 	setShift  uint
 	setMask   uint64
+	setBits   uint // log2(sets), precomputed for the tag split
 }
 
 // NewGeometry builds the address-decomposition helper for a cache with the
@@ -90,6 +91,7 @@ func NewGeometry(lineSize, sets int) (Geometry, error) {
 	}
 	g.setShift = g.lineShift
 	g.setMask = uint64(sets - 1)
+	g.setBits = uint(log2(sets))
 	return g, nil
 }
 
@@ -138,18 +140,18 @@ func (g Geometry) SetOfLine(l LineAddr) uint64 {
 
 // Tag returns the tag of a byte address: the bits above the set index.
 func (g Geometry) Tag(a Addr) uint64 {
-	return uint64(a) >> (g.setShift + uint(log2(g.sets)))
+	return uint64(a) >> (g.setShift + g.setBits)
 }
 
 // TagOfLine returns the tag of a line address.
 func (g Geometry) TagOfLine(l LineAddr) uint64 {
-	return uint64(l) >> uint(log2(g.sets))
+	return uint64(l) >> g.setBits
 }
 
 // Compose reconstructs the first byte address of the line with the given
 // tag and set index. It is the inverse of (Tag, Set) up to line offset.
 func (g Geometry) Compose(tag, set uint64) Addr {
-	return Addr((tag<<uint(log2(g.sets)) | set) << g.setShift) // line base
+	return Addr((tag<<g.setBits | set) << g.setShift) // line base
 }
 
 // SameLine reports whether two byte addresses fall in the same cache line.

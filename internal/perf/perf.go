@@ -10,6 +10,7 @@
 package perf
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -99,6 +100,28 @@ func l1Config() cache.Config {
 	return cache.Config{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: 1}
 }
 
+// traceImage renders n instructions of a stream as an in-memory
+// fixed-stride v2 trace, the input both classification-ingest benchmarks
+// replay.
+func traceImage(s trace.Stream, n uint64) []byte {
+	var buf bytes.Buffer
+	w, err := trace.NewWriterV2(&buf, 0)
+	if err != nil {
+		panic(err)
+	}
+	sb := trace.NewStreamBatcher(trace.NewLimit(s, n))
+	b := trace.NewBatch(trace.DefaultBatchSize)
+	for sb.ReadBatch(b, trace.DefaultBatchSize) > 0 {
+		if err := w.WriteBatch(b); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 // Components runs every component benchmark and returns the results.
 // Expect a few seconds of wall time (testing.Benchmark targets ~1s per
 // component).
@@ -182,6 +205,50 @@ func Components() []Result {
 		"instrs_per_sec": e2e.OpsPerSec,
 	}
 	out = append(out, e2e)
+
+	// sim.classify.scalar / sim.endtoend.batch: the trace-ingest path
+	// (decode + cache + MCT + oracle + accuracy over a binary trace),
+	// record-at-a-time reference vs the struct-of-arrays batch kernel.
+	// Both replay the same in-memory fixed-stride v2 image of the same
+	// endToEndInstrs-instruction stream, so ns_per_instr is directly
+	// comparable and the ratio is the batch kernel's speedup.
+	newRun := func() *classify.Run {
+		run, err := classify.NewRun(l1Config(), 0)
+		if err != nil {
+			panic(err)
+		}
+		return run
+	}
+	img := traceImage(gcc.Stream(workload.DefaultSeed), endToEndInstrs)
+	m, err := trace.OpenMapped(img, trace.Limits{})
+	if err != nil {
+		panic(err)
+	}
+	sc := resultOf("sim.classify.scalar", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Rewind()
+			sim.ClassifyScalar(newRun(), m)
+		}
+	}), endToEndInstrs)
+	sc.Metrics = map[string]float64{
+		"ns_per_instr":   sc.NsPerOp,
+		"instrs_per_sec": sc.OpsPerSec,
+	}
+	out = append(out, sc)
+
+	bt := resultOf("sim.endtoend.batch", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Rewind()
+			sim.ClassifyBatched(newRun(), m, 0)
+		}
+	}), endToEndInstrs)
+	bt.Metrics = map[string]float64{
+		"ns_per_instr":   bt.NsPerOp,
+		"instrs_per_sec": bt.OpsPerSec,
+	}
+	out = append(out, bt)
 
 	return out
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 // classifyArtifact is the memoized product of a spec-path classification:
@@ -181,7 +182,7 @@ func (s *Service) classifyMemo(ctx context.Context, spec ClassifySpec) (classify
 	sp.Str("workload", spec.Workload)
 	art, hit, err := runner.Memo(s.cache, classifySlug, spec, func() (classifyArtifact, error) {
 		var buf bytes.Buffer
-		st, err := runClassify(ctx, spec, specStream(spec), nil, func(v any) error {
+		st, err := runClassify(ctx, spec, trace.NewStreamBatcher(specStream(spec)), func(v any) error {
 			enc, merr := json.Marshal(v)
 			if merr != nil {
 				return fmt.Errorf("service: encoding result line: %w", merr)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/classify"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -139,58 +140,57 @@ type classifyStats struct {
 }
 
 // runClassify plays every memory access of src through the classifying
-// cache and the oracle in lockstep, emitting NDJSON records per the
-// spec's emit mode through emit (one call per line, already marshaled).
-// The context is checked every few thousand accesses so an abandoned
-// request stops doing work promptly. srcErr, when non-nil, is consulted
-// after the stream ends (a trace.Reader's Err): a failed source aborts
-// the run before the summary line, so a truncated or over-limit upload
-// never masquerades as a complete classification.
-func runClassify(ctx context.Context, spec ClassifySpec, src trace.Stream, srcErr func() error, emit func(v any) error) (classifyStats, error) {
+// cache and the oracle, one struct-of-arrays batch at a time, emitting
+// NDJSON records per the spec's emit mode through emit (one call per
+// line, already marshaled). Batches bound the resident state: an upload
+// is decoded ~256 records at a time straight off the request body, never
+// buffered whole, and the steady state allocates nothing per record. The
+// context is checked once per batch so an abandoned request stops doing
+// work promptly. src.Err() is consulted after the source ends (a
+// trace.Reader's decode error, truncation, or limit violation): a failed
+// source aborts the run before the summary line, so a truncated or
+// over-limit upload never masquerades as a complete classification.
+func runClassify(ctx context.Context, spec ClassifySpec, src trace.BatchSource, emit func(v any) error) (classifyStats, error) {
 	var st classifyStats
 	run, err := classify.NewRun(spec.cacheConfig(), spec.TagBits)
 	if err != nil {
 		return st, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	const ctxCheckEvery = 4096
-	var in trace.Instr
-	for src.Next(&in) {
-		if !in.Op.IsMem() {
-			continue
+	bc := sim.NewBatchClassifier(run, 0)
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return st, cerr
 		}
-		if st.Records%ctxCheckEvery == 0 {
-			if cerr := ctx.Err(); cerr != nil {
-				return st, cerr
+		n, m := bc.Classify(src)
+		if n == 0 {
+			break
+		}
+		if spec.Emit != EmitSummary {
+			for i := 0; i < m; i++ {
+				hit := run.Hits[i]
+				if spec.Emit == EmitMisses && hit {
+					continue
+				}
+				line := accessLine{
+					I:      st.Records + uint64(i),
+					Addr:   fmt.Sprintf("0x%x", uint64(bc.Addrs[i])),
+					Store:  bc.Stores[i],
+					Hit:    hit,
+					Oracle: run.Kinds[i].String(),
+				}
+				if !hit {
+					line.MCT = run.Classes[i].String()
+				}
+				if err := emit(line); err != nil {
+					return st, err
+				}
+				st.Emitted++
 			}
 		}
-		isStore := in.Op == trace.Store
-		hit, ev := run.CC.Access(in.Addr, isStore)
-		kind := run.Oracle.Observe(in.Addr, hit)
-		if !hit {
-			run.Acc.Record(kind, ev.Class)
-		}
-		if spec.Emit == EmitAll || (spec.Emit == EmitMisses && !hit) {
-			line := accessLine{
-				I:      st.Records,
-				Addr:   fmt.Sprintf("0x%x", uint64(in.Addr)),
-				Store:  isStore,
-				Hit:    hit,
-				Oracle: kind.String(),
-			}
-			if !hit {
-				line.MCT = ev.Class.String()
-			}
-			if err := emit(line); err != nil {
-				return st, err
-			}
-			st.Emitted++
-		}
-		st.Records++
+		st.Records += uint64(m)
 	}
-	if srcErr != nil {
-		if err := srcErr(); err != nil {
-			return st, err
-		}
+	if err := src.Err(); err != nil {
+		return st, err
 	}
 	sum := ClassifySummary{
 		Workload:    spec.Workload,

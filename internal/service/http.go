@@ -252,7 +252,7 @@ func (s *Service) classifyUploadRequest(w http.ResponseWriter, r *http.Request, 
 
 	nw := newNDJSONWriter(w)
 	_, sp := obs.Start(r.Context(), "classify.upload")
-	st, err := runClassify(r.Context(), spec, rd, rd.Err, nw.emit)
+	st, err := runClassify(r.Context(), spec, rd, nw.emit)
 	sp.Int("records", int64(st.Records))
 	sp.Err(err)
 	sp.End()

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// batchTrace encodes n records in the fixed-stride v2 format with the
+// count declared, returning the raw image.
+func batchTrace(t testing.TB, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriterV2(&buf, uint64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(DefaultBatchSize)
+	for i := 0; i < n; i++ {
+		if b.Len() == DefaultBatchSize {
+			if err := w.WriteBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			b.truncate(0)
+		}
+		b.Append(Instr{
+			PC:   mem.Addr(0x1000 + 4*i),
+			Addr: mem.Addr(uint64(i%512) << 6),
+			Op:   OpClass(i % 4),
+			Dest: byte(i), Src1: byte(i + 1), Src2: byte(i + 2),
+			Taken: i%3 == 0,
+		})
+	}
+	if err := w.WriteBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadBatchSteadyStateAllocs pins the streaming batch decoder at zero
+// allocations per batch: after the first call has sized the read slab and
+// the batch arrays, every further ReadBatch must decode in place. This is
+// the decode path of every trace upload.
+func TestReadBatchSteadyStateAllocs(t *testing.T) {
+	const runs = 1000
+	raw := batchTrace(t, (runs+2)*DefaultBatchSize)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(DefaultBatchSize)
+	if r.ReadBatch(b, DefaultBatchSize) != DefaultBatchSize { // warm: size slab + arrays
+		t.Fatalf("warm-up batch failed: %v", r.Err())
+	}
+	if avg := testing.AllocsPerRun(runs, func() {
+		if r.ReadBatch(b, DefaultBatchSize) != DefaultBatchSize {
+			t.Fatalf("batch decode stalled: %v", r.Err())
+		}
+	}); avg != 0 {
+		t.Fatalf("Reader.ReadBatch steady state allocates %v allocs/batch, want 0", avg)
+	}
+}
+
+// TestMappedReadBatchAllocs pins the zero-copy mapped decoder at zero
+// allocations per batch, warm from the very first replay: OpenMapped does
+// all validation up front and ReadBatch decodes straight out of the image.
+func TestMappedReadBatchAllocs(t *testing.T) {
+	raw := batchTrace(t, 4*DefaultBatchSize)
+	m, err := OpenMapped(raw, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(DefaultBatchSize)
+	if avg := testing.AllocsPerRun(1000, func() {
+		if m.ReadBatch(b, DefaultBatchSize) == 0 {
+			m.Rewind()
+		}
+	}); avg != 0 {
+		t.Fatalf("Mapped.ReadBatch allocates %v allocs/batch, want 0", avg)
+	}
+}

@@ -11,46 +11,111 @@ import (
 	"repro/internal/mem"
 )
 
-// Binary trace format ("MCTR"):
+// Binary trace format ("MCTR"), two wire versions:
 //
-//	header:  magic "MCTR" | version u8 | reserved [3]u8 | count u64
-//	record:  pc u64 | addr u64 | op u8 | dest u8 | src1 u8 | src2 u8 | flags u8
+//	header:   magic "MCTR" | version u8 | endian u8 | stride u8 | reserved u8 | count u64
+//	v1 record (21 bytes): pc u64 | addr u64 | op u8 | dest u8 | src1 u8 | src2 u8 | flags u8
+//	v2 record (24 bytes): v1 record | pad [3]u8
 //
 // All integers little-endian. flags bit 0 = branch taken. count may be zero
 // when the writer streamed an unknown number of records; readers then read
 // to EOF. The format is deliberately trivial: the point is replayable,
 // versioned traces, not compression.
+//
+// Version 1 is the legacy packed layout; its writers left the endian and
+// stride header bytes zero, so v1 readers ignore them. Version 2 is the
+// batch format: records are padded to a fixed 24-byte stride, so every
+// field of record i lives at 8-aligned offset headerSize + i*24 and a
+// mapped file can be indexed without any per-record decoder state. V2
+// headers carry an explicit endianness marker (1 = little-endian) and the
+// record stride, and readers reject anything else with a typed error
+// rather than silently mis-decoding.
 
 const (
-	traceMagic   = "MCTR"
-	traceVersion = 1
+	traceMagic = "MCTR"
+	// versionLegacy is the packed 21-byte-record format.
+	versionLegacy = 1
+	// versionBatch is the fixed-stride 24-byte-record format.
+	versionBatch = 2
 	headerSize   = 16
-	recordSize   = 8 + 8 + 5
+	recordSizeV1 = 8 + 8 + 5
+	recordSizeV2 = 24
+	// endianLittle is the v2 header marker for little-endian records, the
+	// only byte order the format defines.
+	endianLittle = 1
+
+	// traceVersion and recordSize alias the legacy layout, which existing
+	// tooling and tests treat as the default.
+	traceVersion = versionLegacy
+	recordSize   = recordSizeV1
 )
+
+// Typed header errors. Servers and tools match these with errors.Is to
+// distinguish "not a trace at all" from "a trace we cannot read".
+var (
+	// ErrBadMagic reports that the stream does not start with "MCTR".
+	ErrBadMagic = errors.New("trace: bad magic")
+	// ErrUnsupportedVersion reports a version byte this reader cannot decode.
+	ErrUnsupportedVersion = errors.New("trace: unsupported version")
+	// ErrBadEndianness reports a v2 header whose endianness marker is not
+	// little-endian.
+	ErrBadEndianness = errors.New("trace: unsupported endianness")
+	// ErrBadStride reports a v2 header whose declared record stride does not
+	// match the version's fixed layout.
+	ErrBadStride = errors.New("trace: header stride does not match version")
+)
+
+// strideOf returns the record size for a wire version, or 0 if unknown.
+func strideOf(version byte) uint64 {
+	switch version {
+	case versionLegacy:
+		return recordSizeV1
+	case versionBatch:
+		return recordSizeV2
+	}
+	return 0
+}
 
 // Writer streams instructions to an io.Writer in the binary trace format.
 type Writer struct {
-	w     *bufio.Writer
-	count uint64
+	w      *bufio.Writer
+	count  uint64
+	stride int
 }
 
-// NewWriter writes a header with count records promised (0 = unknown) and
-// returns a Writer. Call Flush when done.
+// NewWriter writes a legacy (version 1) header with count records promised
+// (0 = unknown) and returns a Writer. Call Flush when done. New tooling
+// should prefer NewWriterV2; this constructor remains for producing traces
+// older readers understand.
 func NewWriter(w io.Writer, count uint64) (*Writer, error) {
+	return newWriter(w, count, versionLegacy)
+}
+
+// NewWriterV2 writes a fixed-stride (version 2) header with count records
+// promised (0 = unknown) and returns a Writer. Call Flush when done.
+func NewWriterV2(w io.Writer, count uint64) (*Writer, error) {
+	return newWriter(w, count, versionBatch)
+}
+
+func newWriter(w io.Writer, count uint64, version byte) (*Writer, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	var hdr [16]byte
+	var hdr [headerSize]byte
 	copy(hdr[:4], traceMagic)
-	hdr[4] = traceVersion
+	hdr[4] = version
+	if version == versionBatch {
+		hdr[5] = endianLittle
+		hdr[6] = recordSizeV2
+	}
 	binary.LittleEndian.PutUint64(hdr[8:], count)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: writing header: %w", err)
 	}
-	return &Writer{w: bw}, nil
+	return &Writer{w: bw, stride: int(strideOf(version))}, nil
 }
 
 // Write appends one instruction record.
 func (w *Writer) Write(in Instr) error {
-	var rec [recordSize]byte
+	var rec [recordSizeV2]byte
 	binary.LittleEndian.PutUint64(rec[0:], uint64(in.PC))
 	binary.LittleEndian.PutUint64(rec[8:], uint64(in.Addr))
 	rec[16] = byte(in.Op)
@@ -60,7 +125,7 @@ func (w *Writer) Write(in Instr) error {
 	if in.Taken {
 		rec[20] = 1
 	}
-	if _, err := w.w.Write(rec[:]); err != nil {
+	if _, err := w.w.Write(rec[:w.stride]); err != nil {
 		return fmt.Errorf("trace: writing record %d: %w", w.count, err)
 	}
 	w.count++
@@ -110,17 +175,17 @@ type Limits struct {
 }
 
 // allowsDeclared checks a header's promised record count against the
-// limits.
-func (l Limits) allowsDeclared(declared uint64) error {
+// limits, using the stride of the trace's wire version for the byte math.
+func (l Limits) allowsDeclared(declared, stride uint64) error {
 	if declared == 0 {
 		return nil
 	}
 	if l.MaxRecords != 0 && declared > l.MaxRecords {
 		return fmt.Errorf("trace: header declares %d records, limit is %d: %w", declared, l.MaxRecords, ErrTraceTooLarge)
 	}
-	if l.MaxBytes != 0 && headerSize+declared*recordSize > l.MaxBytes {
+	if l.MaxBytes != 0 && headerSize+declared*stride > l.MaxBytes {
 		return fmt.Errorf("trace: header declares %d records (%d bytes), byte limit is %d: %w",
-			declared, headerSize+declared*recordSize, l.MaxBytes, ErrTraceTooLarge)
+			declared, headerSize+declared*stride, l.MaxBytes, ErrTraceTooLarge)
 	}
 	return nil
 }
@@ -131,7 +196,9 @@ func (l Limits) allowsDeclared(declared uint64) error {
 // per-record fast path.
 const cancelCheckInterval = 512
 
-// Reader replays a binary trace as a Stream.
+// Reader replays a binary trace as a Stream. It decodes both wire
+// versions, auto-detected from the header; ReadBatch additionally exposes
+// the fixed-stride bulk path for either version.
 type Reader struct {
 	r        *bufio.Reader
 	ctx      context.Context
@@ -139,6 +206,9 @@ type Reader struct {
 	declared uint64
 	read     uint64
 	err      error
+	version  byte
+	stride   uint64
+	raw      []byte // ReadBatch bulk-read scratch, reused across calls
 }
 
 // NewReader validates the header and returns a Reader positioned at the
@@ -161,21 +231,45 @@ func NewReaderContext(ctx context.Context, r io.Reader, lim Limits) (*Reader, er
 		ctx = context.Background()
 	}
 	br := bufio.NewReaderSize(r, 1<<16)
-	var hdr [16]byte
+	var hdr [headerSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if string(hdr[:4]) != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q (want %q)", hdr[:4], traceMagic)
-	}
-	if hdr[4] != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", hdr[4], traceVersion)
-	}
-	declared := binary.LittleEndian.Uint64(hdr[8:])
-	if err := lim.allowsDeclared(declared); err != nil {
+	version, stride, declared, err := parseHeader(hdr)
+	if err != nil {
 		return nil, err
 	}
-	return &Reader{r: br, ctx: ctx, lim: lim, declared: declared}, nil
+	if err := lim.allowsDeclared(declared, stride); err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, ctx: ctx, lim: lim, declared: declared, version: version, stride: stride}, nil
+}
+
+// parseHeader validates a 16-byte trace header, returning the wire
+// version, record stride, and declared count. Failures carry the typed
+// sentinels ErrBadMagic / ErrUnsupportedVersion / ErrBadEndianness /
+// ErrBadStride.
+func parseHeader(hdr [headerSize]byte) (version byte, stride, declared uint64, err error) {
+	if string(hdr[:4]) != traceMagic {
+		return 0, 0, 0, fmt.Errorf("trace: bad magic %q (want %q): %w", hdr[:4], traceMagic, ErrBadMagic)
+	}
+	version = hdr[4]
+	stride = strideOf(version)
+	if stride == 0 {
+		return 0, 0, 0, fmt.Errorf("trace: unsupported version %d: %w", version, ErrUnsupportedVersion)
+	}
+	if version >= versionBatch {
+		// v1 headers predate the endian/stride bytes (writers left them
+		// zero), so only v2+ headers are held to them.
+		if hdr[5] != endianLittle {
+			return 0, 0, 0, fmt.Errorf("trace: endianness marker %d (want %d): %w", hdr[5], endianLittle, ErrBadEndianness)
+		}
+		if uint64(hdr[6]) != stride {
+			return 0, 0, 0, fmt.Errorf("trace: declared stride %d, version %d defines %d: %w", hdr[6], version, stride, ErrBadStride)
+		}
+	}
+	declared = binary.LittleEndian.Uint64(hdr[8:])
+	return version, stride, declared, nil
 }
 
 // Declared returns the record count promised by the header (0 = unknown).
@@ -210,14 +304,14 @@ func (r *Reader) Next(out *Instr) bool {
 		}
 		return false
 	}
-	if r.lim.MaxBytes != 0 && headerSize+(r.read+1)*recordSize > r.lim.MaxBytes {
+	if r.lim.MaxBytes != 0 && headerSize+(r.read+1)*r.stride > r.lim.MaxBytes {
 		if _, err := r.r.Peek(1); err == nil {
 			r.err = fmt.Errorf("trace: more than %d bytes: %w", r.lim.MaxBytes, ErrTraceTooLarge)
 		}
 		return false
 	}
-	var rec [recordSize]byte
-	_, err := io.ReadFull(r.r, rec[:])
+	var rec [recordSizeV2]byte
+	_, err := io.ReadFull(r.r, rec[:r.stride])
 	if err != nil {
 		switch {
 		case !errors.Is(err, io.EOF):

@@ -1,0 +1,39 @@
+//go:build linux
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MapFile memory-maps the trace file at path read-only and returns a
+// zero-copy Mapped reader over it. Close releases the mapping. An empty
+// file (or one holding only a header) maps fine and replays zero records.
+func MapFile(path string, lim Limits) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("trace: %s is empty", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("trace: mmap %s: %w", path, err)
+	}
+	m, err := OpenMapped(data, lim)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, err
+	}
+	m.release = func() error { return syscall.Munmap(data) }
+	return m, nil
+}

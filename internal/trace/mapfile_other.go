@@ -1,0 +1,16 @@
+//go:build !linux
+
+package trace
+
+import "os"
+
+// MapFile reads the trace file at path into memory and returns a Mapped
+// reader over it. On platforms without the mmap fast path this is a plain
+// read — same semantics, one copy.
+func MapFile(path string, lim Limits) (*Mapped, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenMapped(data, lim)
+}
