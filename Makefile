@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race ci bench bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke vulncheck fuzz clean-cache
+.PHONY: build vet test race ci bench bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke vulncheck fuzz clean-cache
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet race bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke vulncheck
+ci: vet race bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke vulncheck
 
 # Full hot-path benchmark sweep: the Go benchmarks for each package plus
 # the paperbench -bench report (BENCH_pr2.json). Use this for recorded
@@ -81,6 +81,18 @@ serve-smoke:
 # The double-boot regression test pins the expvar republication fix.
 obs-smoke:
 	$(GO) test -race -count=1 -run 'TestObsSmoke|TestMctdRepublishesMetricsOnReboot|TestMetricNamingConvention|TestPrometheusExposition' -timeout 300s ./cmd/mctd ./internal/service
+
+# Geometry smoke: the index-scheme gate under the race detector. The
+# modulo fingerprint test pins the pluggable-geometry refactor to the
+# pre-refactor goldens (classification verdicts and end-to-end timing,
+# byte for byte); the cache geometry tests pin the skewed/random row
+# hashes (dispersion, seed determinism, exact eviction addresses); the
+# scalar-vs-batch differential covers all three schemes via
+# diffGeometries. `make race` runs these once; the focused -count=1
+# re-run keeps a cached pass from masking a regression.
+geom-smoke:
+	$(GO) test -race -count=1 -run 'TestModuloGeometryFingerprintsMatchSeed|TestClassifyBatchMatchesScalar' ./internal/sim
+	$(GO) test -race -count=1 -run 'TestIndexScheme|TestConfigValidateRejectsUnknownScheme|TestModuloRowsMatchGeometry|TestSkewed|TestRandom|TestEvictionAddressExactUnderSkew|TestFillMakesHitAllSchemes|TestLoadMissAccounting|TestCacheAccessSteadyStateAllocs' ./internal/cache
 
 # Known-vulnerability scan, best effort: runs when govulncheck is on PATH
 # and never fails the build on environments without it (the container this

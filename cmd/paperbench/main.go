@@ -87,7 +87,7 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which    = fs.String("experiment", "all", "which artifact to regenerate: all, fig1, fig2, fig3, table1, fig4, fig5, pseudo, fig6, fig7, replacement, remap, cosched, depth, smt, icache, sweep")
+		which    = fs.String("experiment", "all", "which artifact to regenerate: all, fig1, fig2, fig3, table1, fig4, fig5, pseudo, fig6, fig7, replacement, remap, cosched, depth, geometry, smt, icache, sweep")
 		instrs   = fs.Uint64("instructions", 0, "instructions per timing run (0 = default scale)")
 		memAcc   = fs.Uint64("accesses", 0, "memory accesses per functional run (0 = default scale)")
 		seed     = fs.Uint64("seed", 0, "workload seed (0 = repo default)")
@@ -106,7 +106,7 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		inject       = fs.String("inject", "", "fault-injection schedule for chaos testing, e.g. 'error:2' or 'hang@fig5,panic@sim' (see internal/faultinject)")
 
 		bench    = fs.Bool("bench", false, "benchmark the simulation hot paths and write -benchout instead of running experiments")
-		benchOut = fs.String("benchout", "BENCH_pr6.json", "machine-readable benchmark report path (with -bench)")
+		benchOut = fs.String("benchout", "BENCH_pr7.json", "machine-readable benchmark report path (with -bench)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile covering the whole run (worker pool included)")
 		memProf  = fs.String("memprofile", "", "write a heap profile at the end of the run")
 
@@ -458,6 +458,18 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		emit("depth", r.Table())
 		fmt.Fprintln(stdout, "extension the paper set aside: deeper eviction history buys conflict accuracy")
 		fmt.Fprintln(stdout, "but loses capacity accuracy to false matches — the one-deep table is the sweet spot")
+		return nil
+	})
+
+	run([]string{"geometry"}, func() error {
+		r, err := memoize(cache, ckpt, "geometry", p, stderr, *resume, func() (experiments.GeometryResult, error) { return experiments.GeometryStudy(p) })
+		if err != nil {
+			return err
+		}
+		emit("geometry", r.Table())
+		fmt.Fprintf(stdout, "beyond the paper: the MCT assumes modulo indexing; under conflict-destroying defenses\n")
+		fmt.Fprintf(stdout, "here : suite conflict accuracy %.1f%% (modulo) -> %.1f%% (skewed) -> %.1f%% (random)\n",
+			100*r.MeanConflictAcc["modulo"], 100*r.MeanConflictAcc["skewed"], 100*r.MeanConflictAcc["random"])
 		return nil
 	})
 

@@ -128,7 +128,7 @@ func (s *System) L1() *cache.Cache { return s.l1 }
 func (s *System) Access(acc mem.Access) assist.Outcome {
 	isStore := acc.Type == mem.Store
 	s.stats.Accesses++
-	if s.l1.Access(acc.Addr, isStore) {
+	if s.l1.Access(acc.Addr, acc.Type) {
 		s.stats.L1Hits++
 		return assist.Outcome{L1Hit: true}
 	}
@@ -176,12 +176,8 @@ func (s *System) onBufferHit(acc mem.Access, class core.Class, line mem.LineAddr
 		}
 		// Stream-buffer semantics: consume into the cache, keep streaming.
 		s.buffer.Remove(line)
-		ev := s.l1.Fill(acc.Addr, isStore || entry.Dirty, class == core.Conflict)
-		wb := false
-		if ev.Occurred {
-			s.mct.RecordEviction(s.geom.Set(acc.Addr), s.geom.TagOfLine(ev.Line))
-			wb = ev.Dirty
-		}
+		ev := assist.FillWithMCT(s.l1, s.mct, acc.Addr, isStore || entry.Dirty, class)
+		wb := ev.Occurred && ev.Dirty
 		var pfs []mem.LineAddr
 		if s.combo.Prefetch {
 			pfs = s.maybePrefetch(acc.Addr)
@@ -201,11 +197,10 @@ func (s *System) onBufferMiss(acc mem.Access, class core.Class, line mem.LineAdd
 	if conflict && s.combo.Victim {
 		// Conflict miss: fill the cache and victim-stash the displaced
 		// line — it is the likely next conflict victim in this set.
-		ev := s.l1.Fill(acc.Addr, isStore, true)
+		ev := assist.FillWithMCT(s.l1, s.mct, acc.Addr, isStore, class)
 		wb := false
 		filled := false
 		if ev.Occurred {
-			s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
 			s.stats.BufferFills++
 			dropped, wasFull := s.buffer.Insert(ev.Line, assist.Entry{
 				Origin:   assist.OriginVictim,
@@ -242,12 +237,8 @@ func (s *System) onBufferMiss(acc mem.Access, class core.Class, line mem.LineAdd
 	}
 
 	// Normal fill path; capacity misses may still trigger a prefetch.
-	ev := s.l1.Fill(acc.Addr, isStore, conflict)
-	wb := false
-	if ev.Occurred {
-		s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
-		wb = ev.Dirty
-	}
+	ev := assist.FillWithMCT(s.l1, s.mct, acc.Addr, isStore, class)
+	wb := ev.Occurred && ev.Dirty
 	var pfs []mem.LineAddr
 	if !conflict && s.combo.Prefetch {
 		pfs = s.maybePrefetch(acc.Addr)

@@ -196,13 +196,18 @@ func (s Stats) PrefetchAccuracy() float64 {
 // have eight fully-associative entries"); exclusion uses 16.
 const DefaultEntries = 8
 
-// cacheFillWithMCT is the shared fill-and-record sequence every policy
-// uses when a line goes into the L1: fill with the conflict bit implied by
-// the classification, then record the eviction's tag in the MCT.
-func cacheFillWithMCT(l1 *cache.Cache, mct *core.MCT, addr mem.Addr, isStore bool, class core.Class) cache.Eviction {
-	ev := l1.Fill(addr, isStore, class == core.Conflict)
+// FillWithMCT is the shared fill-and-record sequence every policy uses
+// when a line goes into the L1: fill with the conflict bit implied by the
+// classification, then record the evicted line's own (set, tag) in the
+// MCT. Both halves of the key come from the evicted line's stored address
+// — identical to deriving the set from the incoming address under modulo
+// indexing (victim and newcomer share a set), and the only well-defined
+// choice under skewed/random indexing, where they need not.
+func FillWithMCT(l1 *cache.Cache, mct *core.MCT, addr mem.Addr, dirty bool, class core.Class) cache.Eviction {
+	ev := l1.Fill(addr, dirty, class == core.Conflict)
 	if ev.Occurred {
-		mct.RecordEviction(l1.Geometry().Set(addr), l1.Geometry().TagOfLine(ev.Line))
+		geom := l1.Geometry()
+		mct.RecordEviction(geom.SetOfLine(ev.Line), geom.TagOfLine(ev.Line))
 	}
 	return ev
 }

@@ -53,7 +53,7 @@ func (b *Baseline) MCT() *core.MCT { return b.mct }
 func (b *Baseline) Access(acc mem.Access) Outcome {
 	isStore := acc.Type == mem.Store
 	b.stats.Accesses++
-	if b.l1.Access(acc.Addr, isStore) {
+	if b.l1.Access(acc.Addr, acc.Type) {
 		b.stats.L1Hits++
 		return Outcome{L1Hit: true}
 	}
@@ -65,7 +65,7 @@ func (b *Baseline) Access(acc mem.Access) Outcome {
 	} else {
 		b.stats.CapacityMisses++
 	}
-	ev := cacheFillWithMCT(b.l1, b.mct, acc.Addr, isStore, class)
+	ev := FillWithMCT(b.l1, b.mct, acc.Addr, isStore, class)
 	return Outcome{
 		Class:     class,
 		CacheFill: true,

@@ -19,22 +19,29 @@ func allocTestConfig() Config {
 }
 
 func TestCacheAccessSteadyStateAllocs(t *testing.T) {
-	c := MustNew(allocTestConfig())
-	addrs := []mem.Addr{0x1000, 0x20000, 0x24000, 0x103000}
-	for _, a := range addrs {
-		if !c.Access(a, false) {
-			c.Fill(a, false, false)
-		}
-	}
-	i := 0
-	if avg := testing.AllocsPerRun(1000, func() {
-		a := addrs[i%len(addrs)]
-		if !c.Access(a, false) {
-			c.Fill(a, false, false)
-		}
-		i++
-	}); avg != 0 {
-		t.Fatalf("Cache.Access/Fill steady state allocates %v allocs/op, want 0", avg)
+	for _, scheme := range []IndexScheme{IndexModulo, IndexSkewed, IndexRandom} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := allocTestConfig()
+			cfg.Assoc = 2
+			cfg.Indexing = scheme
+			c := MustNew(cfg)
+			addrs := []mem.Addr{0x1000, 0x20000, 0x24000, 0x103000}
+			for _, a := range addrs {
+				if !c.Access(a, mem.Load) {
+					c.Fill(a, false, false)
+				}
+			}
+			i := 0
+			if avg := testing.AllocsPerRun(1000, func() {
+				a := addrs[i%len(addrs)]
+				if !c.Access(a, mem.Load) {
+					c.Fill(a, false, false)
+				}
+				i++
+			}); avg != 0 {
+				t.Fatalf("Cache.Access/Fill steady state allocates %v allocs/op, want 0", avg)
+			}
+		})
 	}
 }
 

@@ -28,14 +28,14 @@ func BenchmarkCacheAccess(b *testing.B) {
 	c := MustNew(allocTestConfig())
 	addrs := benchAddrs(4096)
 	for _, a := range addrs {
-		if !c.Access(a, false) {
+		if !c.Access(a, mem.Load) {
 			c.Fill(a, false, false)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Access(addrs[i%len(addrs)], false)
+		c.Access(addrs[i%len(addrs)], mem.Load)
 	}
 }
 

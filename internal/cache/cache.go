@@ -1,7 +1,9 @@
 // Package cache implements the functional cache models underlying the
 // reproduction: a set-associative write-back cache with true-LRU
-// replacement and per-line conflict bits, and a fully-associative LRU cache
-// used by the classic (oracle) miss classifier.
+// replacement, per-line conflict bits, and a pluggable index scheme
+// (modulo, skewed-associative, or randomized — see IndexScheme), and a
+// fully-associative LRU cache used by the classic (oracle) miss
+// classifier.
 //
 // The models here are purely functional — they track contents and
 // replacement state, not time. Timing (banks, ports, buses, MSHRs) is
@@ -12,6 +14,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -26,6 +29,13 @@ type Config struct {
 	LineSize int
 	// Assoc is the set associativity (1 = direct-mapped).
 	Assoc int
+	// Indexing selects the row-index scheme. The zero value (IndexModulo)
+	// is the paper's classic set index.
+	Indexing IndexScheme
+	// IndexSeed keys IndexRandom's per-way hashes; zero means a fixed
+	// default so the zero-value Config stays deterministic. Ignored by
+	// modulo and skewed indexing, which are unkeyed.
+	IndexSeed uint64
 }
 
 // Validate checks the configuration for internal consistency.
@@ -47,6 +57,11 @@ func (c Config) Validate() error {
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("cache %q: set count %d is not a power of two", c.Name, sets)
 	}
+	switch c.Indexing {
+	case IndexModulo, IndexSkewed, IndexRandom:
+	default:
+		return fmt.Errorf("cache %q: unknown index scheme %d", c.Name, int(c.Indexing))
+	}
 	return nil
 }
 
@@ -56,8 +71,11 @@ func (c Config) Sets() int { return c.Size / c.LineSize / c.Assoc }
 // Line is one cache line's bookkeeping state. Data contents are not
 // simulated; only presence, dirtiness, and the MCT conflict bit matter.
 type Line struct {
-	// Tag is the address tag (bits above the set index).
-	Tag uint64
+	// Addr is the full line address of the cached line. Storing it (rather
+	// than a tag recomposed with the row index on eviction) is what makes
+	// non-invertible index schemes possible: under skewed or randomized
+	// indexing there is no (tag, row) → address inverse.
+	Addr mem.LineAddr
 	// Valid marks the line as present.
 	Valid bool
 	// Dirty marks the line as modified (written back on eviction).
@@ -112,14 +130,27 @@ func (s Stats) MissRate() float64 {
 }
 
 // Cache is a set-associative, write-back, write-allocate cache with true
-// LRU replacement.
+// LRU replacement and a configurable index scheme.
+//
+// Storage is rows×assoc lines: the slot for (row r, way w) is r*assoc+w.
+// Under modulo indexing every way of a line shares one row, so a "set" is
+// the contiguous slice ways[r*assoc : (r+1)*assoc] — the seed layout,
+// scanned in the same order. Under skewed/random indexing each way w gets
+// its own row from the scheme's per-way hash, so the candidate slots for a
+// line are scattered; replacement is still LRU over those assoc
+// candidates. The scheme is resolved once at construction: the hot path
+// branches once per operation, never through an interface.
 type Cache struct {
-	cfg   Config
-	geom  mem.Geometry
-	assoc int
-	ways  []Line // sets*assoc lines; set s occupies ways[s*assoc : (s+1)*assoc]
-	clock uint64
-	stats Stats
+	cfg     Config
+	geom    mem.Geometry
+	assoc   int
+	scheme  IndexScheme
+	rowBits uint     // log2(rows); rows == cfg.Sets()
+	rowMask uint64   // rows-1
+	wayKeys []uint64 // IndexRandom per-way hash keys (nil otherwise)
+	ways    []Line   // rows*assoc lines; slot (row r, way w) = r*assoc+w
+	clock   uint64
+	stats   Stats
 }
 
 // New constructs a cache from a validated configuration.
@@ -131,12 +162,19 @@ func New(cfg Config) (*Cache, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cache %q: %w", cfg.Name, err)
 	}
-	return &Cache{
-		cfg:   cfg,
-		geom:  geom,
-		assoc: cfg.Assoc,
-		ways:  make([]Line, cfg.Sets()*cfg.Assoc),
-	}, nil
+	c := &Cache{
+		cfg:     cfg,
+		geom:    geom,
+		assoc:   cfg.Assoc,
+		scheme:  cfg.Indexing,
+		rowBits: uint(bits.Len(uint(cfg.Sets())) - 1),
+		rowMask: uint64(cfg.Sets() - 1),
+		ways:    make([]Line, cfg.Sets()*cfg.Assoc),
+	}
+	if cfg.Indexing == IndexRandom {
+		c.wayKeys = deriveWayKeys(cfg.IndexSeed, cfg.Assoc)
+	}
+	return c, nil
 }
 
 // MustNew is New that panics on error, for fixed test/example shapes.
@@ -151,7 +189,10 @@ func MustNew(cfg Config) *Cache {
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Geometry returns the address decomposition for this cache.
+// Geometry returns the modulo address decomposition for this cache's
+// shape. Note this describes line/tag extraction and the modulo row — the
+// MCT and oracle layers key on it — not the indexing actually in force
+// when Indexing is skewed or random; use RowOf for that.
 func (c *Cache) Geometry() mem.Geometry { return c.geom }
 
 // Stats returns a snapshot of the counters.
@@ -161,47 +202,96 @@ func (c *Cache) Stats() Stats { return c.stats }
 // this to discard cache-warming effects when a warmup phase is configured.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-// set returns the slice of ways backing set s.
-func (c *Cache) set(s uint64) []Line {
-	return c.ways[int(s)*c.assoc : (int(s)+1)*c.assoc]
+// rowOf computes the non-modulo row for way w. Callers branch on scheme
+// before the per-way loop; only skewed/random reach here.
+func (c *Cache) rowOf(w int, line mem.LineAddr) uint64 {
+	if c.scheme == IndexSkewed {
+		return skewRow(uint64(line), c.rowBits, w)
+	}
+	return mixRow(uint64(line), c.wayKeys[w], c.rowMask)
 }
 
-// findWay returns the index within the set of the valid line with the given
-// tag, or -1.
-func findWay(set []Line, tag uint64) int {
-	for i := range set {
-		if set[i].Valid && set[i].Tag == tag {
+// RowOf reports the row that line indexes in the given way under the
+// cache's scheme, for tests and diagnostics.
+func (c *Cache) RowOf(way int, line mem.LineAddr) uint64 {
+	if c.scheme == IndexModulo {
+		return uint64(line) & c.rowMask
+	}
+	return c.rowOf(way, line)
+}
+
+// findSlot returns the ways index of the valid line holding line, or -1.
+func (c *Cache) findSlot(line mem.LineAddr) int {
+	if c.scheme == IndexModulo {
+		base := int(uint64(line)&c.rowMask) * c.assoc
+		for i := base; i < base+c.assoc; i++ {
+			if c.ways[i].Valid && c.ways[i].Addr == line {
+				return i
+			}
+		}
+		return -1
+	}
+	for w := 0; w < c.assoc; w++ {
+		i := int(c.rowOf(w, line))*c.assoc + w
+		if c.ways[i].Valid && c.ways[i].Addr == line {
 			return i
 		}
 	}
 	return -1
 }
 
+// victimSlot returns the slot a fill of line should use: the first invalid
+// candidate in way order, else the LRU candidate (earliest way on ties).
+func (c *Cache) victimSlot(line mem.LineAddr) int {
+	victim := -1
+	if c.scheme == IndexModulo {
+		base := int(uint64(line)&c.rowMask) * c.assoc
+		for i := base; i < base+c.assoc; i++ {
+			if !c.ways[i].Valid {
+				return i
+			}
+			if victim < 0 || c.ways[i].lastUse < c.ways[victim].lastUse {
+				victim = i
+			}
+		}
+		return victim
+	}
+	for w := 0; w < c.assoc; w++ {
+		i := int(c.rowOf(w, line))*c.assoc + w
+		if !c.ways[i].Valid {
+			return i
+		}
+		if victim < 0 || c.ways[i].lastUse < c.ways[victim].lastUse {
+			victim = i
+		}
+	}
+	return victim
+}
+
 // Access performs a demand access at addr: on a hit it updates LRU (and the
 // dirty bit for stores) and returns true; on a miss it returns false and
 // leaves the cache unmodified — the caller decides whether and how to Fill,
-// which is what lets assist buffers and exclusion policies interpose.
-func (c *Cache) Access(addr mem.Addr, isStore bool) bool {
+// which is what lets assist buffers and exclusion policies interpose. The
+// access type drives the stats split: only mem.Load misses count as
+// LoadMisses (IFetch and prefetch misses used to inflate that counter).
+func (c *Cache) Access(addr mem.Addr, typ mem.AccessType) bool {
 	c.stats.Accesses++
-	if isStore {
+	if typ == mem.Store {
 		c.stats.Stores++
 	}
-	set := c.geom.Set(addr)
-	tag := c.geom.Tag(addr)
-	ways := c.set(set)
-	w := findWay(ways, tag)
-	if w < 0 {
+	i := c.findSlot(c.geom.Line(addr))
+	if i < 0 {
 		c.stats.Misses++
-		if !isStore {
+		if typ == mem.Load {
 			c.stats.LoadMisses++
 		}
 		return false
 	}
 	c.stats.Hits++
 	c.clock++
-	ways[w].lastUse = c.clock
-	if isStore {
-		ways[w].Dirty = true
+	c.ways[i].lastUse = c.clock
+	if typ == mem.Store {
+		c.ways[i].Dirty = true
 	}
 	return true
 }
@@ -209,93 +299,95 @@ func (c *Cache) Access(addr mem.Addr, isStore bool) bool {
 // Contains reports whether the line holding addr is present, without
 // touching LRU state or statistics.
 func (c *Cache) Contains(addr mem.Addr) bool {
-	return findWay(c.set(c.geom.Set(addr)), c.geom.Tag(addr)) >= 0
+	return c.findSlot(c.geom.Line(addr)) >= 0
 }
 
 // ConflictBit returns the conflict bit of the line holding addr and whether
 // the line is present.
 func (c *Cache) ConflictBit(addr mem.Addr) (bit, present bool) {
-	ways := c.set(c.geom.Set(addr))
-	w := findWay(ways, c.geom.Tag(addr))
-	if w < 0 {
+	i := c.findSlot(c.geom.Line(addr))
+	if i < 0 {
 		return false, false
 	}
-	return ways[w].Conflict, true
+	return c.ways[i].Conflict, true
 }
 
 // SetConflictBit overwrites the conflict bit of the line holding addr,
 // reporting whether the line was present.
 func (c *Cache) SetConflictBit(addr mem.Addr, bit bool) bool {
-	ways := c.set(c.geom.Set(addr))
-	w := findWay(ways, c.geom.Tag(addr))
-	if w < 0 {
+	i := c.findSlot(c.geom.Line(addr))
+	if i < 0 {
 		return false
 	}
-	ways[w].Conflict = bit
+	c.ways[i].Conflict = bit
 	return true
 }
 
-// VictimCandidate returns a copy of the line that a Fill to addr's set
-// would displace right now (the LRU valid line), and whether the fill would
-// displace anything at all. Policies that must decide before filling (e.g.
-// exclusion) use this preview.
+// VictimCandidate returns a copy of the line that a Fill to addr would
+// displace right now (the LRU line among the candidate slots), and whether
+// the fill would displace anything at all. Policies that must decide
+// before filling (e.g. exclusion) use this preview.
 func (c *Cache) VictimCandidate(addr mem.Addr) (Line, bool) {
-	ways := c.set(c.geom.Set(addr))
+	line := c.geom.Line(addr)
 	victim := -1
-	for i := range ways {
-		if !ways[i].Valid {
-			return Line{}, false
+	if c.scheme == IndexModulo {
+		base := int(uint64(line)&c.rowMask) * c.assoc
+		for i := base; i < base+c.assoc; i++ {
+			if !c.ways[i].Valid {
+				return Line{}, false
+			}
+			if victim < 0 || c.ways[i].lastUse < c.ways[victim].lastUse {
+				victim = i
+			}
 		}
-		if victim < 0 || ways[i].lastUse < ways[victim].lastUse {
-			victim = i
+	} else {
+		for w := 0; w < c.assoc; w++ {
+			i := int(c.rowOf(w, line))*c.assoc + w
+			if !c.ways[i].Valid {
+				return Line{}, false
+			}
+			if victim < 0 || c.ways[i].lastUse < c.ways[victim].lastUse {
+				victim = i
+			}
 		}
 	}
-	return ways[victim], true
+	return c.ways[victim], true
 }
 
-// Fill inserts the line containing addr, marking it dirty if the triggering
-// access was a store and recording the conflict bit supplied by the MCT
-// policy layer. It returns the eviction that made room. Filling a line that
-// is already present refreshes its LRU position and returns no eviction
-// (this happens when a prefetch lands for a line a demand miss also
-// fetched).
-func (c *Cache) Fill(addr mem.Addr, isStore, conflict bool) Eviction {
-	set := c.geom.Set(addr)
-	tag := c.geom.Tag(addr)
-	ways := c.set(set)
+// Fill inserts the line containing addr, marking it dirty when requested
+// (a store-triggered fill, or a swap of an already-dirty line) and
+// recording the conflict bit supplied by the MCT policy layer. It returns
+// the eviction that made room — the evicted line's full address comes
+// straight from its Line.Addr, with no (tag, row) recomposition. Filling a
+// line that is already present refreshes its LRU position and returns no
+// eviction (this happens when a prefetch lands for a line a demand miss
+// also fetched).
+func (c *Cache) Fill(addr mem.Addr, dirty, conflict bool) Eviction {
+	line := c.geom.Line(addr)
 	c.clock++
-	if w := findWay(ways, tag); w >= 0 {
-		ways[w].lastUse = c.clock
-		if isStore {
-			ways[w].Dirty = true
+	if i := c.findSlot(line); i >= 0 {
+		c.ways[i].lastUse = c.clock
+		if dirty {
+			c.ways[i].Dirty = true
 		}
 		return Eviction{}
 	}
 	c.stats.Fills++
-	victim := -1
-	for i := range ways {
-		if !ways[i].Valid {
-			victim = i
-			break
-		}
-		if victim < 0 || ways[i].lastUse < ways[victim].lastUse {
-			victim = i
-		}
-	}
+	i := c.victimSlot(line)
 	var ev Eviction
-	if ways[victim].Valid {
+	if c.ways[i].Valid {
 		c.stats.Evictions++
-		if ways[victim].Dirty {
+		if c.ways[i].Dirty {
 			c.stats.Writebacks++
 		}
 		ev = Eviction{
 			Occurred: true,
-			Line:     mem.LineAddr(uint64(ways[victim].Tag)<<uint64Log2(c.geom.Sets()) | set),
-			Dirty:    ways[victim].Dirty,
-			Conflict: ways[victim].Conflict,
+			Line:     c.ways[i].Addr,
+			Dirty:    c.ways[i].Dirty,
+			Conflict: c.ways[i].Conflict,
 		}
 	}
-	ways[victim] = Line{Tag: tag, Valid: true, Dirty: isStore, Conflict: conflict, lastUse: c.clock}
+	c.ways[i] = Line{Addr: line, Valid: true, Dirty: dirty, Conflict: conflict, lastUse: c.clock}
 	return ev
 }
 
@@ -303,20 +395,19 @@ func (c *Cache) Fill(addr mem.Addr, isStore, conflict bool) Eviction {
 // it was present. Victim-cache swaps use this to pull a line out of the
 // cache without recording an eviction.
 func (c *Cache) Invalidate(addr mem.Addr) (Line, bool) {
-	ways := c.set(c.geom.Set(addr))
-	w := findWay(ways, c.geom.Tag(addr))
-	if w < 0 {
+	i := c.findSlot(c.geom.Line(addr))
+	if i < 0 {
 		return Line{}, false
 	}
-	l := ways[w]
-	ways[w] = Line{}
+	l := c.ways[i]
+	c.ways[i] = Line{}
 	return l, true
 }
 
-// LinesInSet returns copies of the valid lines currently in set s, for
-// diagnostics and tests.
+// LinesInSet returns copies of the valid lines currently in row s (under
+// modulo indexing, exactly set s), for diagnostics and tests.
 func (c *Cache) LinesInSet(s uint64) []Line {
-	ways := c.set(s)
+	ways := c.ways[int(s)*c.assoc : (int(s)+1)*c.assoc]
 	out := make([]Line, 0, len(ways))
 	for _, l := range ways {
 		if l.Valid {
@@ -342,14 +433,4 @@ func (c *Cache) Flush() {
 	for i := range c.ways {
 		c.ways[i] = Line{}
 	}
-}
-
-// uint64Log2 returns log2 of a positive power of two as a shift amount.
-func uint64Log2(v int) uint {
-	n := uint(0)
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
 }

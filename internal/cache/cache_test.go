@@ -53,20 +53,20 @@ func TestSetsComputation(t *testing.T) {
 func TestMissThenFillThenHit(t *testing.T) {
 	c := MustNew(dmConfig())
 	addr := mem.Addr(0x1000)
-	if c.Access(addr, false) {
+	if c.Access(addr, mem.Load) {
 		t.Fatal("cold cache should miss")
 	}
 	ev := c.Fill(addr, false, false)
 	if ev.Occurred {
 		t.Fatal("fill into empty set should not evict")
 	}
-	if !c.Access(addr, false) {
+	if !c.Access(addr, mem.Load) {
 		t.Fatal("filled line should hit")
 	}
-	if !c.Access(addr+63, false) {
+	if !c.Access(addr+63, mem.Load) {
 		t.Fatal("same line, different offset should hit")
 	}
-	if c.Access(addr+64, false) {
+	if c.Access(addr+64, mem.Load) {
 		t.Fatal("next line should miss")
 	}
 	st := c.Stats()
@@ -109,7 +109,7 @@ func TestDirtyEvictionWriteback(t *testing.T) {
 		t.Errorf("writebacks = %d", c.Stats().Writebacks)
 	}
 	// Store hit also dirties.
-	c.Access(b, true)
+	c.Access(b, mem.Store)
 	ev = c.Fill(a, false, false)
 	if !ev.Dirty {
 		t.Error("store-hit line should evict dirty")
@@ -128,9 +128,9 @@ func TestLRUWithinSet(t *testing.T) {
 		c.Fill(a, false, false)
 	}
 	// Touch 0, 2, 3 so line 1 is LRU.
-	c.Access(lines[0], false)
-	c.Access(lines[2], false)
-	c.Access(lines[3], false)
+	c.Access(lines[0], mem.Load)
+	c.Access(lines[2], mem.Load)
+	c.Access(lines[3], mem.Load)
 	ev := c.Fill(base+4*stride, false, false)
 	if !ev.Occurred || ev.Line != c.Geometry().Line(lines[1]) {
 		t.Errorf("evicted %#x, want LRU line %#x", ev.Line, c.Geometry().Line(lines[1]))
@@ -147,7 +147,7 @@ func TestVictimCandidatePreview(t *testing.T) {
 	if !full {
 		t.Fatal("full set should preview a victim")
 	}
-	if victim.Tag != c.Geometry().Tag(0x0000) || !victim.Conflict {
+	if victim.Addr != c.Geometry().Line(0x0000) || !victim.Conflict {
 		t.Errorf("victim preview = %+v", victim)
 	}
 	// Preview must not modify the cache.
@@ -245,7 +245,11 @@ func TestCacheNeverExceedsCapacity(t *testing.T) {
 		for i, a := range addrs {
 			addr := mem.Addr(a)
 			isStore := i < len(stores) && stores[i]
-			if !c.Access(addr, isStore) {
+			typ := mem.Load
+			if isStore {
+				typ = mem.Store
+			}
+			if !c.Access(addr, typ) {
 				c.Fill(addr, isStore, i%2 == 0)
 			}
 		}
@@ -269,7 +273,7 @@ func TestFillMakesHit(t *testing.T) {
 	c := MustNew(dmConfig())
 	f := func(a mem.Addr) bool {
 		c.Fill(a, false, false)
-		return c.Access(a, false)
+		return c.Access(a, mem.Load)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -279,7 +283,7 @@ func TestFillMakesHit(t *testing.T) {
 func TestResetStatsPreservesContents(t *testing.T) {
 	c := MustNew(dmConfig())
 	c.Fill(0x1234, false, false)
-	c.Access(0x1234, false)
+	c.Access(0x1234, mem.Load)
 	c.ResetStats()
 	if c.Stats().Accesses != 0 {
 		t.Error("stats should be cleared")

@@ -1,0 +1,125 @@
+package cache
+
+import "fmt"
+
+// IndexScheme selects how a line address is mapped to a row within each
+// way. The paper (and the MCT it proposes) assumes IndexModulo — the
+// classic power-of-two set index. The other two families model the
+// conflict-destroying defenses from the literature: skewed-associative
+// caches (Seznec) give each way a different XOR-derived index so two lines
+// that collide in one way almost never collide in another, and randomized
+// caches (MIRAGE-style) index each way with a keyed hash so the mapping is
+// unpredictable without the key. Neither family has a (tag, set) → address
+// inverse, which is why Line stores the full line address (see Line.Addr)
+// instead of a tag the cache would have to recompose.
+type IndexScheme int
+
+const (
+	// IndexModulo is the paper's set index: row = line mod sets, identical
+	// in every way. The zero value, so existing Configs are unchanged.
+	IndexModulo IndexScheme = iota
+	// IndexSkewed is Seznec-style skewed associativity: each way XORs the
+	// base index with differently-rotated higher line-address bits.
+	IndexSkewed
+	// IndexRandom is MIRAGE-style randomized indexing: each way hashes the
+	// line address with its own key (a splitmix64-finalizer bijection).
+	IndexRandom
+)
+
+// String returns the spec-path name of the scheme ("modulo", "skewed",
+// "random").
+func (s IndexScheme) String() string {
+	switch s {
+	case IndexModulo:
+		return "modulo"
+	case IndexSkewed:
+		return "skewed"
+	case IndexRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("IndexScheme(%d)", int(s))
+	}
+}
+
+// ParseIndexScheme maps a spec string to a scheme. The empty string means
+// modulo, so omitted spec fields keep the paper's default.
+func ParseIndexScheme(s string) (IndexScheme, error) {
+	switch s {
+	case "", "modulo":
+		return IndexModulo, nil
+	case "skewed", "skew":
+		return IndexSkewed, nil
+	case "random", "randomized":
+		return IndexRandom, nil
+	default:
+		return 0, fmt.Errorf("cache: unknown index scheme %q (want modulo, skewed, or random)", s)
+	}
+}
+
+// defaultIndexSeed keys IndexRandom when Config.IndexSeed is zero, so the
+// zero-value Config is still fully deterministic.
+const defaultIndexSeed uint64 = 0x6d63745f67656f6d // "mct_geom"
+
+// splitmix64 advances the state and returns the next value of the
+// splitmix64 sequence (Steele et al.), the same generator runner's backoff
+// jitter uses; here it derives per-way keys from one seed.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mixRow is the splitmix64 finalizer applied to a keyed line address: a
+// full-width bijection, so distinct lines never merge before the final
+// row mask. This is the IndexRandom per-way hash.
+func mixRow(line, key, rowMask uint64) uint64 {
+	z := line ^ key
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z & rowMask
+}
+
+// rotlBits rotates the low width bits of v left by k, discarding anything
+// above the window. width 0 returns 0 (a one-row cache has no index bits).
+func rotlBits(v uint64, k, width uint) uint64 {
+	if width == 0 {
+		return 0
+	}
+	k %= width
+	mask := (uint64(1) << width) - 1
+	v &= mask
+	return ((v << k) | (v >> (width - k))) & mask
+}
+
+// skewRow is the IndexSkewed per-way index: the base row XORed with two
+// higher windows of the line address, each rotated by a way-dependent
+// amount so every way sees a different permutation of the same conflict
+// set (Seznec's inter-bank dispersion, in spirit if not in gate count).
+// Way 0 with rotations (0, 0) intentionally reduces to a XOR-folded index
+// rather than pure modulo: a skewed cache disperses in every way.
+func skewRow(line uint64, rowBits uint, way int) uint64 {
+	if rowBits == 0 {
+		return 0
+	}
+	mask := (uint64(1) << rowBits) - 1
+	a := line & mask
+	b1 := (line >> rowBits) & mask
+	b2 := (line >> (2 * rowBits)) & mask
+	w := uint(way)
+	return a ^ rotlBits(b1, w, rowBits) ^ rotlBits(b2, 2*w+1, rowBits)
+}
+
+// deriveWayKeys expands one seed into assoc per-way keys for IndexRandom.
+func deriveWayKeys(seed uint64, assoc int) []uint64 {
+	if seed == 0 {
+		seed = defaultIndexSeed
+	}
+	keys := make([]uint64, assoc)
+	for i := range keys {
+		keys[i] = splitmix64(&seed)
+	}
+	return keys
+}

@@ -1,0 +1,230 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func skewConfig(scheme IndexScheme) Config {
+	return Config{Name: "t", Size: 16 << 10, LineSize: 64, Assoc: 2, Indexing: scheme}
+}
+
+func TestIndexSchemeStringsRoundTrip(t *testing.T) {
+	for _, s := range []IndexScheme{IndexModulo, IndexSkewed, IndexRandom} {
+		got, err := ParseIndexScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseIndexScheme(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	if got, err := ParseIndexScheme(""); err != nil || got != IndexModulo {
+		t.Errorf("empty spec = %v, %v; want modulo", got, err)
+	}
+	if _, err := ParseIndexScheme("hash"); err == nil {
+		t.Error("unknown scheme should be rejected")
+	}
+}
+
+func TestConfigValidateRejectsUnknownScheme(t *testing.T) {
+	cfg := skewConfig(IndexScheme(7))
+	if err := cfg.Validate(); err == nil {
+		t.Error("IndexScheme(7) should fail validation")
+	}
+}
+
+// TestModuloRowsMatchGeometry pins the modulo family to the classic set
+// index in every way.
+func TestModuloRowsMatchGeometry(t *testing.T) {
+	c := MustNew(skewConfig(IndexModulo))
+	geom := c.Geometry()
+	for _, a := range []mem.Addr{0, 0x1000, 0x4321, 0xdeadbeef} {
+		line := geom.Line(a)
+		for w := 0; w < 2; w++ {
+			if got := c.RowOf(w, line); got != geom.Set(a) {
+				t.Errorf("modulo RowOf(%d, %#x) = %d, want set %d", w, a, got, geom.Set(a))
+			}
+		}
+	}
+}
+
+// TestSkewedWaysDisagree: the point of skewing is that two lines
+// conflicting in one way rarely conflict in another. Check that the two
+// ways genuinely index differently, and that rows stay in range.
+func TestSkewedWaysDisagree(t *testing.T) {
+	c := MustNew(skewConfig(IndexSkewed))
+	rows := uint64(c.Config().Sets())
+	differ := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		line := mem.LineAddr(i * 257) // stride through tag bits too
+		r0, r1 := c.RowOf(0, line), c.RowOf(1, line)
+		if r0 >= rows || r1 >= rows {
+			t.Fatalf("row out of range: %d/%d of %d", r0, r1, rows)
+		}
+		if r0 != r1 {
+			differ++
+		}
+	}
+	if differ < n/2 {
+		t.Errorf("ways agree on %d/%d lines; skewing is not dispersing", n-differ, n)
+	}
+}
+
+// TestRandomIndexingDeterministicBySeed: same seed, same mapping; different
+// seed, different mapping (and seed 0 means the fixed default, not chaos).
+func TestRandomIndexingDeterministicBySeed(t *testing.T) {
+	cfg := skewConfig(IndexRandom)
+	a := MustNew(cfg)
+	b := MustNew(cfg)
+	cfg.IndexSeed = 12345
+	d := MustNew(cfg)
+	same, diff := 0, 0
+	for i := 0; i < 1024; i++ {
+		line := mem.LineAddr(i * 131)
+		for w := 0; w < 2; w++ {
+			if a.RowOf(w, line) == b.RowOf(w, line) {
+				same++
+			}
+			if a.RowOf(w, line) != d.RowOf(w, line) {
+				diff++
+			}
+		}
+	}
+	if same != 2048 {
+		t.Errorf("same-seed caches agree on %d/2048 rows, want all", same)
+	}
+	if diff < 1024 {
+		t.Errorf("different-seed caches agree almost everywhere (%d/2048 differ)", diff)
+	}
+}
+
+// TestRandomRowsSpread is a crude uniformity check: filling many more
+// lines than rows must touch a large fraction of the rows in each way.
+func TestRandomRowsSpread(t *testing.T) {
+	for _, scheme := range []IndexScheme{IndexSkewed, IndexRandom} {
+		c := MustNew(skewConfig(scheme))
+		rows := c.Config().Sets()
+		for w := 0; w < 2; w++ {
+			seen := make(map[uint64]bool)
+			for i := 0; i < 8*rows; i++ {
+				seen[c.RowOf(w, mem.LineAddr(i))] = true
+			}
+			if len(seen) < rows/2 {
+				t.Errorf("%v way %d touches only %d/%d rows", scheme, w, len(seen), rows)
+			}
+		}
+	}
+}
+
+// TestEvictionAddressExactUnderSkew is the reason Line stores the full
+// address: under a non-invertible index, the eviction must still report
+// exactly the line that was inserted.
+func TestEvictionAddressExactUnderSkew(t *testing.T) {
+	for _, scheme := range []IndexScheme{IndexSkewed, IndexRandom} {
+		c := MustNew(skewConfig(scheme))
+		geom := c.Geometry()
+		inserted := make(map[mem.LineAddr]bool)
+		evicted := make(map[mem.LineAddr]bool)
+		for i := 0; i < 4096; i++ {
+			a := mem.Addr(i * 64)
+			inserted[geom.Line(a)] = true
+			if ev := c.Fill(a, false, false); ev.Occurred {
+				if !inserted[ev.Line] {
+					t.Fatalf("%v: evicted line %#x was never inserted", scheme, ev.Line)
+				}
+				if evicted[ev.Line] && c.Contains(mem.Addr(uint64(ev.Line)<<geom.LineShift())) {
+					t.Fatalf("%v: line %#x evicted yet still present", scheme, ev.Line)
+				}
+				evicted[ev.Line] = true
+			}
+		}
+		// Conservation: everything inserted is either still resident or was
+		// reported evicted exactly once by address.
+		resident := 0
+		for l := range inserted {
+			if c.Contains(mem.Addr(uint64(l) << geom.LineShift())) {
+				resident++
+			}
+		}
+		if resident != c.ValidLines() {
+			t.Errorf("%v: %d inserted lines resident but cache holds %d valid lines",
+				scheme, resident, c.ValidLines())
+		}
+	}
+}
+
+// TestFillMakesHitAllSchemes extends the modulo property to the new
+// families: after Fill(addr), Access(addr) hits and Invalidate finds it.
+func TestFillMakesHitAllSchemes(t *testing.T) {
+	for _, scheme := range []IndexScheme{IndexModulo, IndexSkewed, IndexRandom} {
+		c := MustNew(skewConfig(scheme))
+		for i := 0; i < 2000; i++ {
+			a := mem.Addr(i * 8191)
+			c.Fill(a, false, false)
+			if !c.Access(a, mem.Load) {
+				t.Fatalf("%v: just-filled %#x misses", scheme, a)
+			}
+			if !c.Contains(a) {
+				t.Fatalf("%v: just-filled %#x not contained", scheme, a)
+			}
+		}
+	}
+}
+
+// TestSkewedReducesConflictMisses is the functional sanity behind the new
+// experiment: a ping-pong pattern that pathologically conflicts under
+// modulo indexing should hit much more often under skewed or randomized
+// indexing with the same capacity.
+func TestSkewedReducesConflictMisses(t *testing.T) {
+	run := func(scheme IndexScheme) uint64 {
+		c := MustNew(skewConfig(scheme))
+		// Three lines aliasing to one modulo set of a 2-way cache: round
+		// robin guarantees every access misses under modulo+LRU.
+		span := mem.Addr(c.Config().Size / c.Config().Assoc)
+		addrs := []mem.Addr{0x100000, 0x100000 + span, 0x100000 + 2*span}
+		for i := 0; i < 3000; i++ {
+			a := addrs[i%3]
+			if !c.Access(a, mem.Load) {
+				c.Fill(a, false, false)
+			}
+		}
+		return c.Stats().Hits
+	}
+	modulo, skewed, random := run(IndexModulo), run(IndexSkewed), run(IndexRandom)
+	if modulo != 0 {
+		t.Errorf("modulo round-robin over 3 aliases in 2 ways should never hit, got %d hits", modulo)
+	}
+	if skewed == 0 {
+		t.Error("skewed indexing should break the alias pattern")
+	}
+	if random == 0 {
+		t.Error("random indexing should break the alias pattern")
+	}
+}
+
+// TestLoadMissAccounting is the stats regression test: only demand-load
+// misses may count as LoadMisses — IFetch, prefetch, and store misses
+// previously inflated the counter.
+func TestLoadMissAccounting(t *testing.T) {
+	c := MustNew(dmConfig())
+	types := []mem.AccessType{mem.Load, mem.Store, mem.IFetch, mem.PrefetchRead}
+	for i, typ := range types {
+		c.Access(mem.Addr(i*0x1000), typ) // four distinct cold lines: all miss
+	}
+	st := c.Stats()
+	if st.Misses != 4 {
+		t.Fatalf("misses = %d, want 4", st.Misses)
+	}
+	if st.LoadMisses != 1 {
+		t.Errorf("LoadMisses = %d, want 1 (only the mem.Load miss)", st.LoadMisses)
+	}
+	if st.Stores != 1 {
+		t.Errorf("Stores = %d, want 1", st.Stores)
+	}
+	// A load hit must not count either.
+	c.Fill(0x9000, false, false)
+	c.Access(0x9000, mem.Load)
+	if got := c.Stats().LoadMisses; got != 1 {
+		t.Errorf("LoadMisses after load hit = %d, want 1", got)
+	}
+}

@@ -68,7 +68,11 @@ func (cc *ClassifyingCache) Table() *MCT { return cc.mct }
 // with the corresponding conflict bit, records the eviction in the MCT, and
 // returns the full miss event.
 func (cc *ClassifyingCache) Access(addr mem.Addr, isStore bool) (hit bool, ev MissEvent) {
-	if cc.cache.Access(addr, isStore) {
+	typ := mem.Load
+	if isStore {
+		typ = mem.Store
+	}
+	if cc.cache.Access(addr, typ) {
 		return true, MissEvent{}
 	}
 	geom := cc.cache.Geometry()
@@ -77,7 +81,7 @@ func (cc *ClassifyingCache) Access(addr mem.Addr, isStore bool) (hit bool, ev Mi
 	class := cc.mct.ClassifyMiss(set, tag)
 	evict := cc.cache.Fill(addr, isStore, class == Conflict)
 	if evict.Occurred {
-		cc.mct.RecordEviction(set, geom.TagOfLine(evict.Line))
+		cc.mct.RecordEviction(geom.SetOfLine(evict.Line), geom.TagOfLine(evict.Line))
 	}
 	return false, MissEvent{Addr: addr, Class: class, Eviction: evict}
 }
@@ -104,7 +108,11 @@ func (cc *ClassifyingCache) AccessBatch(addrs []mem.Addr, stores, hits []bool, c
 	c, m := cc.cache, cc.mct
 	geom := c.Geometry()
 	for i, addr := range addrs {
-		if c.Access(addr, stores[i]) {
+		typ := mem.Load
+		if stores[i] {
+			typ = mem.Store
+		}
+		if c.Access(addr, typ) {
 			hits[i] = true
 			continue
 		}
@@ -114,7 +122,7 @@ func (cc *ClassifyingCache) AccessBatch(addrs []mem.Addr, stores, hits []bool, c
 		classes[i] = class
 		evict := c.Fill(addr, stores[i], class == Conflict)
 		if evict.Occurred {
-			m.RecordEviction(set, geom.TagOfLine(evict.Line))
+			m.RecordEviction(geom.SetOfLine(evict.Line), geom.TagOfLine(evict.Line))
 		}
 	}
 }

@@ -224,7 +224,7 @@ func (s *System) shouldExclude(addr mem.Addr, class core.Class) bool {
 		if !full {
 			return false
 		}
-		victimAddr := s.geom.Compose(victim.Tag, s.geom.Set(addr))
+		victimAddr := mem.Addr(uint64(victim.Addr) << s.geom.LineShift())
 		return s.matCount(addr) < s.matCount(victimAddr)
 	case ModeConflict:
 		return class == core.Conflict
@@ -250,7 +250,7 @@ func (s *System) Access(acc mem.Access) assist.Outcome {
 	if s.mode == ModeMAT {
 		s.touchMAT(acc.Addr)
 	}
-	if s.l1.Access(acc.Addr, isStore) {
+	if s.l1.Access(acc.Addr, acc.Type) {
 		s.stats.L1Hits++
 		return assist.Outcome{L1Hit: true}
 	}
@@ -300,13 +300,8 @@ func (s *System) Access(acc mem.Access) assist.Outcome {
 		}
 	}
 
-	ev := s.l1.Fill(acc.Addr, isStore, class == core.Conflict)
-	wb := false
-	if ev.Occurred {
-		s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
-		wb = ev.Dirty
-	}
-	return assist.Outcome{Class: class, CacheFill: true, Writeback: wb}
+	ev := assist.FillWithMCT(s.l1, s.mct, acc.Addr, isStore, class)
+	return assist.Outcome{Class: class, CacheFill: true, Writeback: ev.Occurred && ev.Dirty}
 }
 
 // Contains implements assist.System.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -87,7 +88,11 @@ func depthRun(b *workload.Benchmark, cfg cache.Config, depth int, p Params) clas
 	var in trace.Instr
 	for n := uint64(0); n < p.MemAccesses && s.Next(&in); n++ {
 		isStore := in.Op == trace.Store
-		hit := l1.Access(in.Addr, isStore)
+		typ := mem.Load
+		if isStore {
+			typ = mem.Store
+		}
+		hit := l1.Access(in.Addr, typ)
 		kind := oracle.Observe(in.Addr, hit)
 		if hit {
 			continue
@@ -97,7 +102,7 @@ func depthRun(b *workload.Benchmark, cfg cache.Config, depth int, p Params) clas
 		acc.Record(kind, class)
 		ev := l1.Fill(in.Addr, isStore, class == core.Conflict)
 		if ev.Occurred {
-			mct.RecordEviction(set, geom.TagOfLine(ev.Line))
+			mct.RecordEviction(geom.SetOfLine(ev.Line), geom.TagOfLine(ev.Line))
 		}
 	}
 	return acc

@@ -40,6 +40,7 @@ var artifacts = []Artifact{
 	{Slug: "replacement", Names: []string{"replacement"}, Run: func(p Params) (any, error) { return Replacement(p) }},
 	{Slug: "remap", Names: []string{"remap"}, Run: func(p Params) (any, error) { return Remap(p) }},
 	{Slug: "depth", Names: []string{"depth"}, Run: func(p Params) (any, error) { return MCTDepth(p) }},
+	{Slug: "geometry", Names: []string{"geometry"}, Run: func(p Params) (any, error) { return GeometryStudy(p) }},
 	{Slug: "smt", Names: []string{"smt"}, Run: func(p Params) (any, error) { return SMTStudy(p) }},
 	{Slug: "icache", Names: []string{"icache"}, Run: func(p Params) (any, error) { return ICacheStudy(p) }},
 	{Slug: "sweep", Names: []string{"sweep"}, Run: func(p Params) (any, error) { return ConfigSweep(p) }},

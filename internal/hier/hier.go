@@ -358,7 +358,7 @@ func (h *Hierarchy) missPath(start uint64, acc mem.Access, out assist.Outcome) u
 	h.busBusy = busFree + uint64(h.cfg.L1L2BusOccupancy)
 
 	h.stats.L2Accesses++
-	if h.l2.Access(acc.Addr, acc.Type == mem.Store) {
+	if h.l2.Access(acc.Addr, acc.Type) {
 		h.stats.L2Hits++
 		return busFree + uint64(h.cfg.L2Latency)
 	}

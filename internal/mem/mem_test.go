@@ -83,6 +83,30 @@ func TestComposeInvertsTagSet(t *testing.T) {
 	}
 }
 
+// TestComposeRoundTripAcrossShapes pins the modulo family's invertibility
+// property — Compose∘(Tag,Set) = LineBase, at both the address and the
+// line level — across the shapes the repo uses, degenerate single-set
+// geometries included. Only the modulo family has this inverse: the cache
+// layer stores full line addresses in Line.Addr precisely because skewed
+// and randomized indexing do not.
+func TestComposeRoundTripAcrossShapes(t *testing.T) {
+	for _, sh := range []struct{ line, sets int }{
+		{32, 1}, {32, 64}, {64, 1}, {64, 256}, {64, 8192}, {128, 512},
+	} {
+		g := MustGeometry(sh.line, sh.sets)
+		f := func(a Addr) bool {
+			if g.Compose(g.Tag(a), g.Set(a)) != g.LineBase(a) {
+				return false
+			}
+			l := g.Line(a)
+			return g.Compose(g.TagOfLine(l), g.SetOfLine(l)) == g.LineBase(a)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%dB lines × %d sets: %v", sh.line, sh.sets, err)
+		}
+	}
+}
+
 func TestTagOfLineMatchesTag(t *testing.T) {
 	g := MustGeometry(64, 512)
 	f := func(a Addr) bool {

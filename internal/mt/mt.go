@@ -143,7 +143,11 @@ func Share(benches []*workload.Benchmark, cfg Config) (Result, error) {
 				}
 				threads[ti].Accesses++
 				isStore := in.Op == trace.Store
-				if l1.Access(in.Addr, isStore) {
+				typ := mem.Load
+				if isStore {
+					typ = mem.Store
+				}
+				if l1.Access(in.Addr, typ) {
 					continue
 				}
 				threads[ti].Misses++
@@ -154,7 +158,7 @@ func Share(benches []*workload.Benchmark, cfg Config) (Result, error) {
 					threads[ti].ConflictMisses++
 				}
 				if ev.Occurred {
-					mct.RecordEviction(set, geom.TagOfLine(ev.Line))
+					mct.RecordEviction(geom.SetOfLine(ev.Line), geom.TagOfLine(ev.Line))
 					if prev, ok := owner[ev.Line]; ok && prev != ti && class == core.Conflict {
 						threads[ti].CrossConflicts++
 					}
@@ -179,7 +183,11 @@ func soloMissRate(b *workload.Benchmark, cfg Config, tid uint64) float64 {
 	s := trace.NewMemOnly(b.Stream(cfg.Seed + tid))
 	var in trace.Instr
 	for n := uint64(0); n < cfg.AccessesPerThread && s.Next(&in); n++ {
-		if !l1.Access(in.Addr, in.Op == trace.Store) {
+		typ := mem.Load
+		if in.Op == trace.Store {
+			typ = mem.Store
+		}
+		if !l1.Access(in.Addr, typ) {
 			l1.Fill(in.Addr, in.Op == trace.Store, false)
 		}
 	}

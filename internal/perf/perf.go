@@ -132,14 +132,14 @@ func Components() []Result {
 	// cache.access: the set-associative lookup, hit and miss mixed.
 	c := cache.MustNew(l1Config())
 	for _, a := range addrs {
-		if !c.Access(a, false) {
+		if !c.Access(a, mem.Load) {
 			c.Fill(a, false, false)
 		}
 	}
 	out = append(out, resultOf("cache.access", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			c.Access(addrs[i%len(addrs)], false)
+			c.Access(addrs[i%len(addrs)], mem.Load)
 		}
 	}), 1))
 

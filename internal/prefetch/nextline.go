@@ -95,7 +95,7 @@ func (s *System) L1() *cache.Cache { return s.l1 }
 func (s *System) Access(acc mem.Access) assist.Outcome {
 	isStore := acc.Type == mem.Store
 	s.stats.Accesses++
-	if s.l1.Access(acc.Addr, isStore) {
+	if s.l1.Access(acc.Addr, acc.Type) {
 		s.stats.L1Hits++
 		return assist.Outcome{L1Hit: true}
 	}
@@ -111,12 +111,8 @@ func (s *System) Access(acc mem.Access) assist.Outcome {
 		// Move the line into the cache; the prefetch buffer entry is
 		// consumed (stream-buffer style), and the stream continues.
 		s.buffer.Remove(line)
-		ev := s.l1.Fill(acc.Addr, isStore || entry.Dirty, class == core.Conflict)
-		wb := false
-		if ev.Occurred {
-			s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
-			wb = ev.Dirty
-		}
+		ev := assist.FillWithMCT(s.l1, s.mct, acc.Addr, isStore || entry.Dirty, class)
+		wb := ev.Occurred && ev.Dirty
 		var pfs []mem.LineAddr
 		if s.pol.PrefetchOnBufferHit {
 			pfs = s.maybePrefetch(acc.Addr)
@@ -130,11 +126,10 @@ func (s *System) Access(acc mem.Access) assist.Outcome {
 	} else {
 		s.stats.CapacityMisses++
 	}
-	ev := s.l1.Fill(acc.Addr, isStore, class == core.Conflict)
+	ev := assist.FillWithMCT(s.l1, s.mct, acc.Addr, isStore, class)
 	wb := false
 	evictedBit := false
 	if ev.Occurred {
-		s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
 		wb = ev.Dirty
 		evictedBit = ev.Conflict
 	}

@@ -141,7 +141,7 @@ func (s *RPTSystem) Access(acc mem.Access) assist.Outcome {
 		pfs = []mem.LineAddr{s.geom.Line(target)}
 	}
 
-	if s.l1.Access(acc.Addr, isStore) {
+	if s.l1.Access(acc.Addr, acc.Type) {
 		s.stats.L1Hits++
 		return assist.Outcome{L1Hit: true, Prefetches: pfs}
 	}
@@ -154,12 +154,8 @@ func (s *RPTSystem) Access(acc mem.Access) assist.Outcome {
 		s.stats.BufferHits++
 		s.stats.BufferHitsByOrigin[entry.Origin]++
 		s.buffer.Remove(line)
-		ev := s.l1.Fill(acc.Addr, isStore || entry.Dirty, class == core.Conflict)
-		wb := false
-		if ev.Occurred {
-			s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
-			wb = ev.Dirty
-		}
+		ev := assist.FillWithMCT(s.l1, s.mct, acc.Addr, isStore || entry.Dirty, class)
+		wb := ev.Occurred && ev.Dirty
 		return assist.Outcome{Class: class, BufferHit: true, CacheFill: true, Writeback: wb, Prefetches: pfs}
 	}
 
@@ -169,12 +165,8 @@ func (s *RPTSystem) Access(acc mem.Access) assist.Outcome {
 	} else {
 		s.stats.CapacityMisses++
 	}
-	ev := s.l1.Fill(acc.Addr, isStore, class == core.Conflict)
-	wb := false
-	if ev.Occurred {
-		s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
-		wb = ev.Dirty
-	}
+	ev := assist.FillWithMCT(s.l1, s.mct, acc.Addr, isStore, class)
+	wb := ev.Occurred && ev.Dirty
 	return assist.Outcome{Class: class, CacheFill: true, Writeback: wb, Prefetches: pfs}
 }
 

@@ -14,6 +14,7 @@ package remap
 import (
 	"fmt"
 
+	"repro/internal/assist"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -173,8 +174,12 @@ func (s *System) Access(a mem.Addr, isStore bool) bool {
 			s.counts[p] /= 2
 		}
 	}
+	typ := mem.Load
+	if isStore {
+		typ = mem.Store
+	}
 	ta := s.translate(a)
-	if s.l1.Access(ta, isStore) {
+	if s.l1.Access(ta, typ) {
 		return true
 	}
 	s.stats.Misses++
@@ -183,10 +188,7 @@ func (s *System) Access(a mem.Addr, isStore bool) bool {
 	if class == core.Conflict {
 		s.stats.Conflicts++
 	}
-	ev := s.l1.Fill(ta, isStore, class == core.Conflict)
-	if ev.Occurred {
-		s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
-	}
+	assist.FillWithMCT(s.l1, s.mct, ta, isStore, class)
 	s.countMiss(a, class)
 	return false
 }

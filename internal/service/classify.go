@@ -49,6 +49,12 @@ type ClassifySpec struct {
 	LineSize int `json:"line,omitempty"`
 	TagBits  int `json:"tag_bits,omitempty"`
 
+	// Index selects the cache's row-index scheme: "modulo" (default),
+	// "skewed", or "random". IndexSeed keys the random scheme's per-way
+	// hashes (0 = fixed default key).
+	Index     string `json:"index,omitempty"`
+	IndexSeed uint64 `json:"index_seed,omitempty"`
+
 	// Emit selects the response granularity: summary, misses, or all.
 	Emit string `json:"emit,omitempty"`
 }
@@ -74,6 +80,13 @@ func (sp *ClassifySpec) normalize(upload bool, maxAccesses uint64) error {
 	default:
 		return fmt.Errorf("%w: emit %q (valid: %s, %s, %s)", ErrBadRequest, sp.Emit, EmitSummary, EmitMisses, EmitAll)
 	}
+	scheme, err := cache.ParseIndexScheme(sp.Index)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	// Canonicalize so equivalent spellings ("", "modulo"; "skew",
+	// "skewed") share one memoization-cache key.
+	sp.Index = scheme.String()
 	if err := sp.cacheConfig().Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -104,7 +117,17 @@ func (sp *ClassifySpec) normalize(upload bool, maxAccesses uint64) error {
 
 // cacheConfig maps the spec onto the simulator's cache geometry.
 func (sp ClassifySpec) cacheConfig() cache.Config {
-	return cache.Config{Name: "L1D", Size: sp.SizeKB * 1024, LineSize: sp.LineSize, Assoc: sp.Assoc}
+	// normalize validated Index; a bad spelling that skipped normalize
+	// falls back to modulo via the parse default.
+	scheme, _ := cache.ParseIndexScheme(sp.Index)
+	return cache.Config{
+		Name:      "L1D",
+		Size:      sp.SizeKB * 1024,
+		LineSize:  sp.LineSize,
+		Assoc:     sp.Assoc,
+		Indexing:  scheme,
+		IndexSeed: sp.IndexSeed,
+	}
 }
 
 // accessLine is one NDJSON record of a classify response: the access, the

@@ -289,6 +289,14 @@ func specFromQuery(r *http.Request) (ClassifySpec, error) {
 		}
 	}
 	spec.Emit = q.Get("emit")
+	spec.Index = q.Get("index")
+	if v := q.Get("index_seed"); v != "" {
+		n, err := strconv.ParseUint(v, 0, 64)
+		if err != nil {
+			return spec, fmt.Errorf("%w: query index_seed=%q is not an unsigned integer", ErrBadRequest, v)
+		}
+		spec.IndexSeed = n
+	}
 	return spec, nil
 }
 

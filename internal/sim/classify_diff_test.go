@@ -18,12 +18,16 @@ const diffInstrs = 6_000
 
 // diffGeometries spans direct-mapped, high-associativity small-line, and
 // mid-size set-associative caches, so set indexing, eviction, and the
-// fully-associative oracle all get exercised under different shapes.
+// fully-associative oracle all get exercised under different shapes — plus
+// the skewed and randomized index families, so the batch kernel is pinned
+// against the scalar reference under non-modulo row mappings too.
 func diffGeometries() []cache.Config {
 	return []cache.Config{
 		{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: 1},
 		{Name: "L1D", Size: 8 << 10, LineSize: 32, Assoc: 4},
 		{Name: "L1D", Size: 32 << 10, LineSize: 64, Assoc: 2},
+		{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: 2, Indexing: cache.IndexSkewed},
+		{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: 2, Indexing: cache.IndexRandom, IndexSeed: 0xC0FFEE},
 	}
 }
 
@@ -104,8 +108,8 @@ func TestClassifyBatchMatchesScalar(t *testing.T) {
 		for _, seed := range []uint64{1, 0xC0FFEE} {
 			for _, cfg := range diffGeometries() {
 				for _, tagBits := range []int{0, 6} {
-					name := fmt.Sprintf("%s/seed%d/%dKB-%dw-%dB/tag%d",
-						wl, seed, cfg.Size>>10, cfg.Assoc, cfg.LineSize, tagBits)
+					name := fmt.Sprintf("%s/seed%d/%dKB-%dw-%dB-%s/tag%d",
+						wl, seed, cfg.Size>>10, cfg.Assoc, cfg.LineSize, cfg.Indexing, tagBits)
 					stream := func() trace.Stream {
 						return trace.NewLimit(b.Stream(seed), diffInstrs)
 					}

@@ -115,7 +115,7 @@ func (s *System) L1() *cache.Cache { return s.l1 }
 func (s *System) Access(acc mem.Access) assist.Outcome {
 	isStore := acc.Type == mem.Store
 	s.stats.Accesses++
-	if s.l1.Access(acc.Addr, isStore) {
+	if s.l1.Access(acc.Addr, acc.Type) {
 		s.stats.L1Hits++
 		return assist.Outcome{L1Hit: true}
 	}
@@ -137,9 +137,8 @@ func (s *System) Access(acc mem.Access) assist.Outcome {
 		// moves into the buffer (becoming MRU, per Jouppi).
 		s.buffer.Remove(line)
 		s.stats.Swaps++
-		ev := s.l1.Fill(acc.Addr, isStore || entry.Dirty, class == core.Conflict)
+		ev := assist.FillWithMCT(s.l1, s.mct, acc.Addr, isStore || entry.Dirty, class)
 		if ev.Occurred {
-			s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
 			s.stashVictim(ev, class, true)
 		}
 		return assist.Outcome{Class: class, BufferHit: true, Swap: true}
@@ -153,11 +152,10 @@ func (s *System) Access(acc mem.Access) assist.Outcome {
 	} else {
 		s.stats.CapacityMisses++
 	}
-	ev := s.l1.Fill(acc.Addr, isStore, class == core.Conflict)
+	ev := assist.FillWithMCT(s.l1, s.mct, acc.Addr, isStore, class)
 	writeback := false
 	filled := false
 	if ev.Occurred {
-		s.mct.RecordEviction(set, s.geom.TagOfLine(ev.Line))
 		accept := true
 		if s.pol.FilterFills {
 			accept = s.pol.Filter.Eval(class == core.Conflict, ev.Conflict)
