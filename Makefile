@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race ci bench bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke vulncheck fuzz clean-cache
+.PHONY: build vet test race ci bench bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke crash-smoke chaosnet-smoke vulncheck fuzz clean-cache
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet race bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke vulncheck
+ci: vet race bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke crash-smoke chaosnet-smoke vulncheck
 
 # Full hot-path benchmark sweep: the Go benchmarks for each package plus
 # the paperbench -bench report (BENCH_pr2.json). Use this for recorded
@@ -93,6 +93,27 @@ obs-smoke:
 geom-smoke:
 	$(GO) test -race -count=1 -run 'TestModuloGeometryFingerprintsMatchSeed|TestClassifyBatchMatchesScalar' ./internal/sim
 	$(GO) test -race -count=1 -run 'TestIndexScheme|TestConfigValidateRejectsUnknownScheme|TestModuloRowsMatchGeometry|TestSkewed|TestRandom|TestEvictionAddressExactUnderSkew|TestFillMakesHitAllSchemes|TestLoadMissAccounting|TestCacheAccessSteadyStateAllocs' ./internal/cache
+
+# Crash smoke: the kill -9 durability gate. Boots mctd as a real
+# subprocess, SIGKILLs it mid-sweep (a hang injected at one cell makes
+# the kill point deterministic), reboots on the same data dirs, and
+# requires the journaled job to finish with exactly one recomputed cell
+# — then proves the recovered sweep output is byte-identical to a
+# clean-room run. Runs under -race because recovery replays the journal
+# concurrently with new admissions.
+crash-smoke:
+	$(GO) test -race -count=1 -run 'TestCrashRecoverySIGKILL' -timeout 300s ./cmd/mctd
+
+# Chaos-network smoke: the end-to-end resilience gate. Boots mctd behind
+# the chaos listener (5% connection resets, injected latency), drives
+# 200 requests through the resilient client with retries enabled, and
+# requires 100% goodput with zero duplicate server-side computation
+# (cache_misses unchanged after a serial warmup — idempotency keys and
+# the memo cache absorb every retry). Distinct from chaos-smoke, which
+# covers task-level fault injection inside one process; this one covers
+# faults on the wire.
+chaosnet-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosnetConvergence' -timeout 300s ./cmd/mctd
 
 # Known-vulnerability scan, best effort: runs when govulncheck is on PATH
 # and never fails the build on environments without it (the container this

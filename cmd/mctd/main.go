@@ -26,6 +26,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/service"
@@ -83,6 +85,13 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		noCache  = fs.Bool("nocache", false, "disable the result cache")
 		ckptDir  = fs.String("checkpointdir", runner.DefaultCheckpointDir, "sweep checkpoint directory")
 
+		journalDir = fs.String("journaldir", "results/jobs", "durable job journal directory; jobs interrupted by a crash are re-driven at boot (empty = journaling off)")
+		fsyncMode  = fs.String("fsync", "data", "fsync policy for journal/checkpoint/cache writes: off (process-crash safe only), data (batch boundaries), always")
+
+		chaosSpec  = fs.String("chaos", "", "network fault injection on the listener, e.g. 'reset=0.05,latency=20ms,jitter=10ms' (see internal/faultinject)")
+		injectSpec = fs.String("inject", "", "task fault-injection schedule, e.g. 'error:2' or 'hang@sweep' (see internal/faultinject)")
+		brownoutOn = fs.Bool("brownout", true, "shed load progressively when overloaded (streaming first, then low-priority, then everything but health and metrics)")
+
 		maxRecords  = fs.Uint64("max-records", 10_000_000, "max records in an uploaded trace (0 = unlimited)")
 		maxBytes    = fs.Uint64("max-bytes", 1<<28, "max bytes in an uploaded trace (0 = unlimited)")
 		maxAccesses = fs.Uint64("max-accesses", 5_000_000, "max accesses in a classify spec")
@@ -117,6 +126,34 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		maxWaiters = -1
 	}
 
+	fsync, err := durable.ParsePolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintln(stderr, "mctd:", err)
+		return 2
+	}
+	// The runner's checkpoint and cache writers share the process-wide
+	// policy: one -fsync flag governs every durable write in the daemon.
+	runner.SetSyncPolicy(fsync)
+	defer runner.SetSyncPolicy(durable.PolicyOff)
+
+	var chaos faultinject.NetConfig
+	if *chaosSpec != "" {
+		if chaos, err = faultinject.ParseNetSpec(*chaosSpec); err != nil {
+			fmt.Fprintln(stderr, "mctd:", err)
+			return 2
+		}
+	}
+	if *injectSpec != "" {
+		fault, err := faultinject.Parse(*injectSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "mctd:", err)
+			return 2
+		}
+		restore := faultinject.Install(fault)
+		defer restore()
+		fmt.Fprintf(stderr, "mctd: fault injection active: %s\n", *injectSpec)
+	}
+
 	// Experiments fan out internally through runner.Map with the
 	// process-wide defaults; give those inner pools the same supervision
 	// policy the service applies to its own job-level fan-outs.
@@ -138,6 +175,10 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		TaskTimeout:     *taskTimeout,
 		Retries:         *retries,
 		TraceSpans:      *traceSpans,
+		JournalDir:      *journalDir,
+		Fsync:           fsync,
+		Brownout:        service.BrownoutConfig{Enabled: *brownoutOn},
+		Logf:            func(format string, a ...any) { fmt.Fprintf(log, format+"\n", a...) },
 	})
 	if c := svc.Cache(); c != nil {
 		// The callback writes through the serialized writer; each log
@@ -145,6 +186,22 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		c.SetLogf(func(format string, a ...any) { fmt.Fprintf(log, format+"\n", a...) })
 	}
 	publishLiveVars(svc.Vars())
+
+	// Replay the job journal before accepting traffic: finished jobs are
+	// restored to the registry, interrupted ones re-drive in the
+	// background (their results land in the memo cache, so a client's
+	// retry replays instead of recomputing), and upload jobs whose bodies
+	// were never retained are marked failed. A journal that cannot open
+	// or replay fails the boot — an operator who asked for durability
+	// should not get a silently non-durable daemon.
+	if st, err := svc.Recover(context.Background()); err != nil {
+		fmt.Fprintln(stderr, "mctd:", err)
+		return 1
+	} else if st.Jobs > 0 || st.Replay.TornTail || st.Replay.Quarantined > 0 {
+		fmt.Fprintf(stderr, "mctd: journal recovery: %d jobs (%d finished, %d re-driven, %d orphaned), %d records in %d segments (torn tail: %v, quarantined: %d)\n",
+			st.Jobs, st.Finished, st.Redriven, st.Orphaned,
+			st.Replay.Records, st.Replay.Segments, st.Replay.TornTail, st.Replay.Quarantined)
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -175,6 +232,13 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 	if err != nil {
 		fmt.Fprintln(stderr, "mctd:", err)
 		return 1
+	}
+	if *chaosSpec != "" {
+		// Chaos wraps the listener itself so injected resets, latency and
+		// partial writes hit real accepted connections — the same failure
+		// surface a flaky network presents.
+		ln = chaos.Listener(ln)
+		fmt.Fprintf(stderr, "mctd: network chaos active: %s\n", chaos)
 	}
 	srv := &http.Server{Handler: rootHandler(svc, *pprofOn)}
 

@@ -54,6 +54,7 @@ func TestServeSmoke(t *testing.T) {
 			"-batch-wait", "1ms",
 			"-cachedir", t.TempDir() + "/cache",
 			"-checkpointdir", t.TempDir() + "/ckpt",
+			"-journaldir", t.TempDir() + "/jobs",
 		}, io.Discard, &logBuf, ready)
 	}()
 	var base string
@@ -316,6 +317,7 @@ func bootMctd(t *testing.T, extraArgs ...string) (string, func()) {
 		"-listen", "127.0.0.1:0",
 		"-cachedir", t.TempDir() + "/cache",
 		"-checkpointdir", t.TempDir() + "/ckpt",
+		"-journaldir", t.TempDir() + "/jobs",
 	}, extraArgs...)
 	ready := make(chan string, 1)
 	exit := make(chan int, 1)

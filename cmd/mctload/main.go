@@ -1,13 +1,19 @@
 // Command mctload is the load-generator client for mctd: it drives
 // concurrent mixed classify/sweep traffic at a target (or closed-loop)
-// rate, reports latency percentiles and error rates, scrapes the
-// server's Prometheus exposition for the service-side view, and writes
-// the machine-readable BENCH_pr5.json snapshot.
+// rate through the shared resilient client (idempotency keys, jittered
+// retries honoring Retry-After, opt-in hedging), reports latency
+// percentiles, error rates and the retry taxonomy, scrapes the server's
+// Prometheus exposition for the service-side view, and writes the
+// machine-readable BENCH_pr8.json snapshot.
 //
 // Usage:
 //
 //	mctd -listen :8047 &
 //	mctload -url http://127.0.0.1:8047 -duration 10s -concurrency 16
+//
+// Chaos drills inject faults on the client side of the wire:
+//
+//	mctload -chaos 'reset=0.05,latency=20ms,jitter=10ms' -retries 5
 package main
 
 import (
@@ -15,9 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/loadgen"
 )
 
@@ -36,11 +44,28 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 		mix         = fs.Float64("mix", 0.9, "fraction of requests that are classifies (rest are sweeps)")
 		seed        = fs.Uint64("seed", 1, "traffic-pattern seed")
 		requests    = fs.Uint64("requests", 0, "stop after exactly this many requests (0 = run for -duration)")
-		out         = fs.String("out", "BENCH_pr5.json", "machine-readable report path (empty = skip)")
+		retries     = fs.Int("retries", 1, "max attempts per logical request (1 = no retries; raise for chaos runs)")
+		hedgeAfter  = fs.Duration("hedge-after", 0, "hedge classify requests still unanswered after this delay (0 = off)")
+		chaosSpec   = fs.String("chaos", "", "client-side network fault injection, e.g. 'reset=0.05,latency=20ms' (see internal/faultinject)")
+		out         = fs.String("out", "BENCH_pr8.json", "machine-readable report path (empty = skip)")
 		quiet       = fs.Bool("quiet", false, "suppress the result table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// The chaos transport wraps the load traffic only — the post-run
+	// metrics scrape below goes over a clean client, so a black-holed
+	// report scrape can't masquerade as a server problem.
+	var httpClient *http.Client
+	if *chaosSpec != "" {
+		chaos, err := faultinject.ParseNetSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "mctload:", err)
+			return 2
+		}
+		httpClient = &http.Client{Timeout: 2 * time.Minute, Transport: chaos.Transport(nil)}
+		fmt.Fprintf(stderr, "mctload: network chaos active: %s\n", chaos)
 	}
 
 	report, err := loadgen.Run(context.Background(), loadgen.Config{
@@ -50,7 +75,10 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 		QPS:              *qps,
 		ClassifyFraction: *mix,
 		Seed:             *seed,
+		Client:           httpClient,
 		MaxRequests:      *requests,
+		MaxAttempts:      *retries,
+		HedgeAfter:       *hedgeAfter,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "mctload:", err)

@@ -8,7 +8,7 @@
 //	           [-instructions N] [-accesses N] [-seed N] [-quick]
 //	           [-progress] [-nocache] [-cachedir DIR]
 //	           [-task-timeout D] [-retries N] [-retry-backoff D] [-strict]
-//	           [-resume] [-checkpointdir DIR] [-inject SPEC]
+//	           [-resume] [-checkpointdir DIR] [-inject SPEC] [-fsync MODE]
 //	           [-bench] [-benchout FILE]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //	           [-trace-out FILE] [-slow-factor N]
@@ -68,6 +68,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
@@ -104,6 +105,7 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		resume       = fs.Bool("resume", false, "resume an interrupted run: replay checkpointed experiments from the cache, recompute the rest")
 		ckptDir      = fs.String("checkpointdir", runner.DefaultCheckpointDir, "sweep checkpoint directory")
 		inject       = fs.String("inject", "", "fault-injection schedule for chaos testing, e.g. 'error:2' or 'hang@fig5,panic@sim' (see internal/faultinject)")
+		fsyncMode    = fs.String("fsync", "off", "fsync policy for checkpoint/cache writes: off (process-crash safe only), data, always")
 
 		bench    = fs.Bool("bench", false, "benchmark the simulation hot paths and write -benchout instead of running experiments")
 		benchOut = fs.String("benchout", "BENCH_pr7.json", "machine-readable benchmark report path (with -bench)")
@@ -116,6 +118,18 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	// Checkpoint and cache writes follow one durability policy. Off by
+	// default for the CLI: temp+rename already survives process crashes
+	// (including SIGKILL); fsync only buys power-loss safety, at real
+	// latency cost per experiment.
+	fsync, err := durable.ParsePolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintln(stderr, "paperbench:", err)
+		return 2
+	}
+	runner.SetSyncPolicy(fsync)
+	defer runner.SetSyncPolicy(durable.PolicyOff)
 
 	// Tracing is opt-in and process-global: the runner's per-attempt spans
 	// reach the exporter from every fan-out below. Disabled (the default),

@@ -1,0 +1,73 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{
+		"off": PolicyOff, "none": PolicyOff,
+		"data": PolicyData, "batch": PolicyData, "": PolicyData,
+		"always": PolicyAlways, "full": PolicyAlways,
+	}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Error("ParsePolicy should reject unknown spellings")
+	}
+	for _, p := range []Policy{PolicyOff, PolicyData, PolicyAlways} {
+		if rt, err := ParsePolicy(p.String()); err != nil || rt != p {
+			t.Errorf("round trip %v -> %q -> %v, %v", p, p.String(), rt, err)
+		}
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	for _, p := range []Policy{PolicyOff, PolicyData, PolicyAlways} {
+		t.Run(p.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "f.json")
+			if err := WriteFileAtomic(path, []byte("v1"), 0o644, p); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteFileAtomic(path, []byte("v2"), 0o644, p); err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(path)
+			if err != nil || string(got) != "v2" {
+				t.Fatalf("read back %q, %v", got, err)
+			}
+			// No temp-file litter.
+			ents, _ := os.ReadDir(dir)
+			if len(ents) != 1 {
+				t.Fatalf("directory has %d entries after atomic writes, want 1", len(ents))
+			}
+		})
+	}
+}
+
+func TestSyncFileNilAndOff(t *testing.T) {
+	if err := SyncFile(nil, PolicyAlways); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.CreateTemp(t.TempDir(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := SyncFile(f, PolicyOff); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncFile(f, PolicyAlways); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(filepath.Dir(f.Name()), PolicyAlways); err != nil {
+		t.Fatal(err)
+	}
+}

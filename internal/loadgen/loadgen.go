@@ -2,7 +2,7 @@
 // a fixed fleet of workers drives mixed classify/sweep traffic at either
 // the maximum closed-loop rate or a target QPS, measuring per-request
 // latency and error rates. cmd/mctload wraps it as a CLI and writes the
-// BENCH_pr5.json report (client-side results plus the server's own
+// BENCH_pr8.json report (client-side results plus the server's own
 // histograms scraped from the Prometheus endpoint).
 //
 // "Closed loop" means each worker issues its next request only after the
@@ -10,18 +10,25 @@
 // overloaded service sees backpressure (and its 429s show up in the
 // by-status counts) instead of an unbounded request pile-up inside the
 // generator.
+//
+// All traffic flows through one shared internal/client Client, so every
+// request carries an idempotency key and — when MaxAttempts > 1 — rides
+// the resilient retry/hedge machinery. Under a chaos transport (resets,
+// latency, black holes) the per-class results then separate what the
+// service failed from what the retry layer absorbed: terminal failures
+// land in by_failure, absorbed ones in the retries/hedges counts.
 package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/perf"
 	"repro/internal/workload"
 )
@@ -43,7 +50,8 @@ type Config struct {
 	ClassifyFraction float64
 	// Seed makes the traffic pattern reproducible.
 	Seed uint64
-	// Client overrides the HTTP client (tests inject the httptest one).
+	// Client overrides the HTTP transport (tests inject the httptest
+	// client; mctload injects a chaos round-tripper for -chaos runs).
 	Client *http.Client
 	// Variants is how many distinct parameterizations each traffic class
 	// cycles through (distinct cache keys server-side). Default 4: the
@@ -54,6 +62,21 @@ type Config struct {
 	// reached first ends the run). The obs-smoke gate uses this to make
 	// client-side and server-side request counts exactly comparable.
 	MaxRequests uint64
+	// MaxAttempts bounds each logical request's tries (first attempt
+	// included), via the shared resilient client. Default 1: a pure
+	// measurement run issues every request exactly once, so the error
+	// rates are the service's own. mctload raises it (-retries) so chaos
+	// runs converge instead of bleeding transport errors.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (the client's default when
+	// zero); it doubles per attempt with 50–150% jitter, floored by any
+	// server Retry-After.
+	BaseBackoff time.Duration
+	// HedgeAfter, when positive, hedges classify requests still
+	// unanswered after this delay. Sweeps are never hedged: they are the
+	// expensive op, and the hedge would just queue behind the original's
+	// idempotency singleflight.
+	HedgeAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -75,15 +98,22 @@ func (c Config) withDefaults() Config {
 	if c.Variants <= 0 {
 		c.Variants = 4
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
 	return c
 }
 
-// sample is one completed request.
+// sample is one completed logical request (retries and hedges folded
+// into it by the client).
 type sample struct {
-	class   string // "classify" | "sweep"
-	status  int    // 0 on transport error
-	latency time.Duration
-	err     bool
+	class    string             // "classify" | "sweep"
+	status   int                // final HTTP status; 0 transport failure; -1 run-teardown discard
+	kind     client.FailureKind // terminal failure bucket, FailNone on success
+	attempts int                // total HTTP attempts the client issued
+	hedged   bool               // a hedge was launched
+	latency  time.Duration
+	err      bool
 }
 
 // splitmix64 is the same deterministic PRNG step the runner uses for
@@ -106,6 +136,21 @@ func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 	names := workload.Names()
 	if len(names) == 0 {
 		return perf.LoadReport{}, fmt.Errorf("loadgen: no workloads registered")
+	}
+	// One shared client for the whole fleet: its key sequence guarantees
+	// distinct idempotency keys across workers. Seed is deliberately NOT
+	// cfg.Seed — keys must never repeat across runs against the same
+	// server, or the idempotency store would replay a previous run's
+	// responses; only the traffic pattern needs reproducibility.
+	cl, err := client.New(client.Options{
+		BaseURL:     cfg.BaseURL,
+		HTTPClient:  cfg.Client,
+		MaxAttempts: cfg.MaxAttempts,
+		BaseBackoff: cfg.BaseBackoff,
+		HedgeAfter:  cfg.HedgeAfter,
+	})
+	if err != nil {
+		return perf.LoadReport{}, fmt.Errorf("loadgen: %w", err)
 	}
 
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
@@ -148,7 +193,7 @@ func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 					}
 				}
 				rng = splitmix64(rng)
-				samples <- cfg.oneRequest(runCtx, rng, names, id)
+				samples <- cfg.oneRequest(runCtx, cl, rng, names, id)
 			}
 		}(w)
 	}
@@ -171,46 +216,60 @@ func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 		aggregate(collected, elapsed)), nil
 }
 
-// oneRequest issues a single classify or sweep and measures it. A
-// context cancellation mid-request (the run ending) is not counted as a
-// service error.
-func (c Config) oneRequest(ctx context.Context, rng uint64, names []string, worker int) sample {
+// oneRequest issues a single classify or sweep through the shared
+// resilient client and measures the whole logical request — latency
+// includes any retries and backoff, because that is what a caller
+// experiences. A context cancellation mid-request (the run ending) is
+// not counted as a service error.
+func (c Config) oneRequest(ctx context.Context, cl *client.Client, rng uint64, names []string, worker int) sample {
 	variant := rng % uint64(c.Variants)
 	isClassify := float64(rng%1000)/1000.0 < c.ClassifyFraction
 
-	var url, body, class string
+	var path, body, class string
 	if isClassify {
 		class = "classify"
-		url = c.BaseURL + "/v1/classify"
+		path = "/v1/classify"
 		body = fmt.Sprintf(`{"workload":%q,"accesses":%d,"size_kb":8,"emit":"summary"}`,
 			names[int(rng/7)%len(names)], 4000+variant*1000)
 	} else {
 		class = "sweep"
-		url = c.BaseURL + "/v1/sweep"
+		path = "/v1/sweep"
 		body = fmt.Sprintf(`{"experiments":["fig2"],"accesses":%d,"instructions":%d}`,
 			4000+variant*1000, 4000+variant*1000)
 	}
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
-	if err != nil {
-		return sample{class: class, err: true}
+	req := client.Request{
+		Path:        path,
+		Body:        []byte(body),
+		ContentType: "application/json",
+		Header:      http.Header{"X-Mct-Client": []string{fmt.Sprintf("mctload-%d", worker)}},
+		Hedge:       isClassify,
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("X-Mct-Client", fmt.Sprintf("mctload-%d", worker))
 
 	t0 := time.Now()
-	resp, err := c.Client.Do(req)
-	if err != nil {
-		if ctx.Err() != nil {
-			return sample{class: class, status: -1} // run ended; discard below
-		}
-		return sample{class: class, err: true, latency: time.Since(t0)}
-	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	resp, err := cl.Do(ctx, req)
 	lat := time.Since(t0)
-	return sample{class: class, status: resp.StatusCode, latency: lat,
-		err: resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable}
+	if err != nil {
+		// The run context expiring (Duration is a WithTimeout) or the
+		// caller canceling tears down in-flight requests with the context's
+		// own error; a real failure canceled during backoff keeps its
+		// original cause and is still counted.
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return sample{class: class, status: -1} // run ended mid-flight; discard below
+		}
+		s := sample{class: class, kind: client.KindOf(err), attempts: 1, latency: lat, err: true}
+		var ce *client.Error
+		if errors.As(err, &ce) {
+			s.status = ce.Status
+			s.attempts = ce.Attempts
+			// Same rule as the response path: rejections (429/503) are the
+			// admission controller working, not errors — even terminal ones.
+			s.err = ce.Status == 0 || (ce.Status >= 500 && ce.Status != http.StatusServiceUnavailable)
+		}
+		return s
+	}
+	return sample{class: class, status: resp.Status, attempts: resp.Attempts, hedged: resp.Hedged,
+		latency: lat, err: resp.Status >= 500 && resp.Status != http.StatusServiceUnavailable}
 }
 
 // aggregate folds samples into per-class results plus a total.
@@ -242,6 +301,23 @@ func aggregate(samples []sample, elapsed time.Duration) []perf.LoadResult {
 				key = fmt.Sprint(s.status)
 			}
 			res.ByStatus[key]++
+			if s.kind != client.FailNone {
+				if res.ByFailure == nil {
+					res.ByFailure = map[string]uint64{}
+				}
+				res.ByFailure[string(s.kind)]++
+			}
+			// Attempts counts every HTTP request the client issued for this
+			// logical one; a hedge accounts for one of the extras (hedging
+			// more than once per request needs multiple slow tries — rare
+			// enough that the split below is exact in practice).
+			if extra := uint64(max(s.attempts-1, 0)); extra > 0 {
+				if s.hedged {
+					res.Hedges++
+					extra--
+				}
+				res.Retries += extra
+			}
 			lats = append(lats, s.latency)
 		}
 		if sec := elapsed.Seconds(); sec > 0 {

@@ -12,10 +12,13 @@ import (
 )
 
 // LoadReportSchema versions the BENCH load-test JSON format (written by
-// cmd/mctload as BENCH_pr5.json). Schema 2 added the Server section:
+// cmd/mctload as BENCH_pr8.json). Schema 2 added the Server section:
 // server-side histograms and counters folded in from the service's
 // Prometheus exposition, so one file carries both sides of the run.
-const LoadReportSchema = 2
+// Schema 3 added the client-resilience fields to each LoadResult —
+// retries, hedges, and the by_failure error taxonomy — so a chaos run
+// records not just what failed but what the retry layer absorbed.
+const LoadReportSchema = 3
 
 // Latency summarizes a latency sample set in milliseconds.
 type Latency struct {
@@ -88,6 +91,17 @@ type LoadResult struct {
 	Requests uint64            `json:"requests"`
 	Errors   uint64            `json:"errors"`
 	ByStatus map[string]uint64 `json:"by_status,omitempty"`
+	// ByFailure buckets terminal failures by the client taxonomy
+	// (conn_reset, timeout, connect, http_429, http_503, http_5xx,
+	// other). Unlike ByStatus — which records final responses — this
+	// counts only requests that exhausted their retries.
+	ByFailure map[string]uint64 `json:"by_failure,omitempty"`
+	// Retries counts extra attempts beyond each request's first; Hedges
+	// counts speculative second requests launched by the hedging timer.
+	// Both measure work the resilience layer did that a plain client
+	// would have surfaced as errors (or tail latency).
+	Retries uint64 `json:"retries,omitempty"`
+	Hedges  uint64 `json:"hedges,omitempty"`
 	// Throughput is completed requests per second of test wall time.
 	Throughput float64 `json:"throughput_rps"`
 	Latency    Latency `json:"latency"`
@@ -165,12 +179,13 @@ func (r LoadReport) WriteJSON(path string) error {
 func (r LoadReport) Table() *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("Load test: %s (%.1fs, %d workers)", r.Target, r.DurationSec, r.Concurrency),
-		"traffic", "reqs", "rps", "errs", "p50 ms", "p90 ms", "p99 ms", "max ms")
+		"traffic", "reqs", "rps", "errs", "retries", "p50 ms", "p90 ms", "p99 ms", "max ms")
 	for _, res := range r.Results {
 		t.AddRow(res.Name,
 			fmt.Sprint(res.Requests),
 			fmt.Sprintf("%.1f", res.Throughput),
 			fmt.Sprint(res.Errors),
+			fmt.Sprint(res.Retries),
 			fmt.Sprintf("%.2f", res.Latency.P50Ms),
 			fmt.Sprintf("%.2f", res.Latency.P90Ms),
 			fmt.Sprintf("%.2f", res.Latency.P99Ms),

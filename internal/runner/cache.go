@@ -11,6 +11,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/durable"
 )
 
 // cacheSchema versions the on-disk entry format itself. Bump it when the
@@ -245,21 +247,12 @@ func (c *Cache) store(slug, key string, result json.RawMessage) error {
 	if err != nil {
 		return fmt.Errorf("runner: encoding cache entry %s: %w", slug, err)
 	}
-	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
-	if err != nil {
-		return fmt.Errorf("runner: cache temp file: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: writing cache entry %s: %w", slug, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: closing cache entry %s: %w", slug, err)
-	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
+	// Same temp+rename discipline as before, now fsyncing file and
+	// directory when the process-wide sync policy demands power-loss
+	// durability (a torn cache entry is only quarantine noise, but a
+	// memoized result the checkpoint already references must not
+	// evaporate after the checkpoint said it exists).
+	if err := durable.WriteFileAtomic(c.path(key), data, 0o644, writeSyncPolicy()); err != nil {
 		return fmt.Errorf("runner: committing cache entry %s: %w", slug, err)
 	}
 	return nil

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/durable"
 )
 
 // checkpointSchema versions the on-disk checkpoint format.
@@ -138,7 +140,9 @@ func (c *Checkpoint) Remove() error {
 	return err
 }
 
-// save writes the snapshot via temp-file + rename. Caller holds c.mu.
+// save writes the snapshot via temp-file + rename, fsyncing the file
+// and its directory when the process-wide sync policy asks for power-
+// loss durability (SetSyncPolicy). Caller holds c.mu.
 func (c *Checkpoint) save() error {
 	dir := filepath.Dir(c.path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -148,21 +152,7 @@ func (c *Checkpoint) save() error {
 	if err != nil {
 		return fmt.Errorf("runner: encoding checkpoint: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("runner: checkpoint temp file: %w", err)
-	}
-	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: writing checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: closing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path); err != nil {
-		os.Remove(tmp.Name())
+	if err := durable.WriteFileAtomic(c.path, raw, 0o644, writeSyncPolicy()); err != nil {
 		return fmt.Errorf("runner: committing checkpoint: %w", err)
 	}
 	return nil

@@ -1,0 +1,37 @@
+package runner
+
+import (
+	"sync/atomic"
+
+	"repro/internal/durable"
+)
+
+// syncPolicy is the process-wide durability policy for the runner's
+// whole-file writers (checkpoint snapshots, cache entries). It is
+// process-wide for the same reason SetDefaultOptions is: checkpoints
+// and cache entries are opened deep inside experiment fan-outs, far
+// from any flag parsing, and durability is an operator decision about
+// the host (its storage, its power story), not about one sweep.
+//
+// The default is durable.PolicyOff — the seed behavior: temp+rename
+// atomicity against process crashes, no fsync. cmd/mctd and
+// cmd/paperbench raise it from their -fsync flags.
+var syncPolicy atomic.Int32
+
+// SetSyncPolicy installs the process-wide fsync policy for checkpoint
+// and cache writes. Safe to call concurrently with writers; each write
+// snapshots the policy once.
+func SetSyncPolicy(p durable.Policy) { syncPolicy.Store(int32(p)) }
+
+// SyncPolicy returns the current process-wide fsync policy.
+func SyncPolicy() durable.Policy { return durable.Policy(syncPolicy.Load()) }
+
+// writeSyncPolicy resolves the policy for one whole-file write: these
+// are rare, batch-boundary-shaped writes, so PolicyData and
+// PolicyAlways both mean "fsync this write"; only PolicyOff skips.
+func writeSyncPolicy() durable.Policy {
+	if p := SyncPolicy(); p != durable.PolicyOff {
+		return durable.PolicyAlways
+	}
+	return durable.PolicyOff
+}

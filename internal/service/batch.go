@@ -53,8 +53,9 @@ type batcher struct {
 	wait time.Duration
 	run  func([]*batchItem)
 
-	quit chan struct{}
-	wg   sync.WaitGroup
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 func newBatcher(size int, wait time.Duration, run func([]*batchItem)) *batcher {
@@ -87,9 +88,10 @@ func (b *batcher) submit(ctx context.Context, spec ClassifySpec) (<-chan batchRe
 
 // stop shuts the intake and waits for in-flight batches to finish. Call
 // only after admission has drained: with no admitted requests left there
-// are no submitters to strand.
+// are no submitters to strand. Idempotent, so Drain may run more than
+// once (a signal-driven drain racing a deferred one).
 func (b *batcher) stop() {
-	close(b.quit)
+	b.quitOnce.Do(func() { close(b.quit) })
 	b.wg.Wait()
 }
 

@@ -27,8 +27,8 @@ import (
 //	                    ?format=prometheus for the text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/classify", s.handleClassify)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/classify", s.idempotent(s.handleClassify))
+	mux.HandleFunc("POST /v1/sweep", s.idempotent(s.handleSweep))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/trace/{job}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -48,7 +48,7 @@ func statusFor(err error) int {
 		return http.StatusRequestEntityTooLarge // 413
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrClientBusy):
 		return http.StatusTooManyRequests // 429
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable // 503
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest // 400
@@ -62,16 +62,54 @@ func statusFor(err error) int {
 }
 
 // errorBody is the JSON error envelope for non-streaming failures.
+// JobID is present whenever the request got far enough to allocate a
+// job, so a client holding a failed response can still GET
+// /v1/jobs/{id} for the attempt/failure detail.
 type errorBody struct {
 	Error  string `json:"error"`
 	Status int    `json:"status"`
+	JobID  string `json:"job_id,omitempty"`
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+// retryAfterValue renders a duration as a Retry-After header value
+// (whole seconds, minimum 1 — the header has no finer granularity).
+func retryAfterValue(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func writeErr(w http.ResponseWriter, err error) { writeErrJob(w, err, "") }
+
+// writeErrJob writes the error envelope. Backpressure statuses carry a
+// Retry-After hint (preserving any value a more specific layer — the
+// brownout controller — already set): 429 means "this instance, soon",
+// 503 means "this instance is draining or shedding, give it longer".
+//
+// Error responses never keep the connection alive. Most of them go out
+// before the request body has been read to EOF, and with full duplex
+// enabled (handleClassify) the server's post-handler body drain fires
+// the deferred background-read hook right before the keep-alive peek —
+// a connection-killing panic inside net/http (Go 1.24). Closing instead
+// mirrors what the server does for undrained bodies without full
+// duplex, and every caller here is an error or shed path where the
+// client re-dialing is acceptable.
+func writeErrJob(w http.ResponseWriter, err error, jobID string) {
 	status := statusFor(err)
+	w.Header().Set("Connection", "close")
+	if w.Header().Get("Retry-After") == "" {
+		switch status {
+		case http.StatusTooManyRequests:
+			w.Header().Set("Retry-After", retryAfterValue(time.Second))
+		case http.StatusServiceUnavailable:
+			w.Header().Set("Retry-After", retryAfterValue(2*time.Second))
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Status: status})
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Status: status, JobID: jobID})
 }
 
 // clientID identifies the requester for per-client fairness: an explicit
@@ -116,9 +154,41 @@ func (nw *ndjsonWriter) emit(v any) error {
 	return nil
 }
 
-// finishJob records a job's outcome and feeds the retry metric.
+// createJob registers a job in the registry and the journal.
+func (s *Service) createJob(id, kind, client, idem string) {
+	s.jobs.CreateWithID(id, kind, client)
+	if idem != "" {
+		s.jobs.update(id, func(j *Job) { j.IdemKey = idem })
+	}
+	s.jlog.create(id, kind, client, idem)
+}
+
+// startJob marks a job running, journaling the spec so a crashed
+// process can re-drive it (nil spec: the upload path, not re-drivable).
+func (s *Service) startJob(id string, spec any) {
+	s.jobs.Start(id)
+	s.jlog.start(id, spec)
+}
+
+// stateOf maps a job's final error to its journal/registry state, the
+// same taxonomy jobs.Finish applies.
+func stateOf(err error) (JobState, string) {
+	switch {
+	case err == nil:
+		return JobDone, ""
+	case errors.Is(err, context.Canceled):
+		return JobCanceled, err.Error()
+	default:
+		return JobFailed, err.Error()
+	}
+}
+
+// finishJob records a job's outcome in the registry and the journal and
+// feeds the retry metric.
 func (s *Service) finishJob(id string, err error, records, emitted, hits, misses uint64) {
 	s.jobs.Finish(id, err, records, emitted, hits, misses)
+	state, errText := stateOf(err)
+	s.jlog.finish(id, state, errText)
 	if err != nil {
 		fails, _ := failuresOf(err)
 		s.noteRetries(fails)
@@ -139,6 +209,14 @@ func (s *Service) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// immediately. (HTTP/2 is duplex natively; ErrNotSupported is fine.)
 	_ = http.NewResponseController(w).EnableFullDuplex()
 
+	// Brownout gate before any real work: the upload path counts as
+	// streaming (shed first), the JSON-spec path sheds only at the
+	// low-priority level.
+	streaming := !strings.HasPrefix(r.Header.Get("Content-Type"), "application/json")
+	if s.shed(w, r, streaming) {
+		return
+	}
+
 	client := clientID(r)
 	id := s.jobs.NewID()
 	ctx, root := obs.Start(obs.Inject(r.Context(), s.ring, id), "http.classify")
@@ -155,10 +233,10 @@ func (s *Service) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	s.jobs.CreateWithID(id, "classify", client)
+	s.createJob(id, "classify", client, r.Header.Get(IdemHeader))
 	w.Header().Set("X-Mct-Job", id)
 
-	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+	if !streaming {
 		s.classifySpecRequest(w, r, id)
 		return
 	}
@@ -186,16 +264,16 @@ func (s *Service) classifySpecRequest(w http.ResponseWriter, r *http.Request, id
 	if err := dec.Decode(&spec); err != nil {
 		err = fmt.Errorf("%w: decoding spec: %v", ErrBadRequest, err)
 		s.finishJob(id, err, 0, 0, 0, 0)
-		writeErr(w, err)
+		writeErrJob(w, err, id)
 		return
 	}
 	if err := spec.normalize(false, s.cfg.MaxSpecAccesses); err != nil {
 		s.finishJob(id, err, 0, 0, 0, 0)
-		writeErr(w, err)
+		writeErrJob(w, err, id)
 		return
 	}
 
-	s.jobs.Start(id)
+	s.startJob(id, spec)
 	done, err := s.bat.submit(r.Context(), spec)
 	if err == nil {
 		select {
@@ -219,7 +297,7 @@ func (s *Service) classifySpecRequest(w http.ResponseWriter, r *http.Request, id
 		}
 	}
 	s.finishJob(id, err, 0, 0, 0, 0)
-	writeErr(w, err)
+	writeErrJob(w, err, id)
 }
 
 // classifyUploadRequest handles the binary-trace flavor of /v1/classify:
@@ -235,18 +313,20 @@ func (s *Service) classifyUploadRequest(w http.ResponseWriter, r *http.Request, 
 	}
 	if err != nil {
 		s.finishJob(id, err, 0, 0, 0, 0)
-		writeErr(w, err)
+		writeErrJob(w, err, id)
 		return
 	}
 
-	s.jobs.Start(id)
+	// No spec in the journal: the trace bytes live only in this request
+	// body, so this job is not re-drivable after a crash.
+	s.startJob(id, nil)
 	rd, err := trace.NewReaderContext(r.Context(), r.Body, s.cfg.Limits)
 	if err != nil {
 		if !errors.Is(err, trace.ErrTraceTooLarge) && !errors.Is(err, context.Canceled) {
 			err = fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 		s.finishJob(id, err, 0, 0, 0, 0)
-		writeErr(w, err)
+		writeErrJob(w, err, id)
 		return
 	}
 
@@ -307,6 +387,9 @@ func specFromQuery(r *http.Request) (ClassifySpec, error) {
 // neither cached nor checkpointed, so resubmitting recomputes exactly
 // those.
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w, r, false) {
+		return
+	}
 	client := clientID(r)
 	id := s.jobs.NewID()
 	ctx, root := obs.Start(obs.Inject(r.Context(), s.ring, id), "http.sweep")
@@ -323,7 +406,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	s.jobs.CreateWithID(id, "sweep", client)
+	s.createJob(id, "sweep", client, r.Header.Get(IdemHeader))
 	w.Header().Set("X-Mct-Job", id)
 
 	var spec SweepSpec
@@ -332,17 +415,17 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		err = fmt.Errorf("%w: decoding spec: %v", ErrBadRequest, err)
 		s.finishJob(id, err, 0, 0, 0, 0)
-		writeErr(w, err)
+		writeErrJob(w, err, id)
 		return
 	}
 	p, arts, err := spec.normalize()
 	if err != nil {
 		s.finishJob(id, err, 0, 0, 0, 0)
-		writeErr(w, err)
+		writeErrJob(w, err, id)
 		return
 	}
 
-	s.jobs.Start(id)
+	s.startJob(id, spec)
 	lines, hits, misses, runErr := s.runSweep(r.Context(), p, arts)
 
 	nw := newNDJSONWriter(w)
@@ -407,6 +490,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // have been evicted returns an empty body — the ring is a tail, not an
 // archive.
 func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w, r, true) {
+		return
+	}
 	id := r.PathValue("job")
 	if _, ok := s.jobs.Get(id); !ok {
 		w.Header().Set("Content-Type", "application/json")

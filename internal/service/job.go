@@ -70,6 +70,13 @@ type Job struct {
 	// NDJSON result lines streamed back.
 	Records uint64 `json:"records"`
 	Emitted uint64 `json:"emitted"`
+
+	// IdemKey is the client's idempotency key, when one was sent — the
+	// handle the journal dedupes retries against.
+	IdemKey string `json:"idem_key,omitempty"`
+	// Recovered marks a job restored (and possibly re-driven) from the
+	// journal after a restart rather than created by a live request.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // failuresOf flattens a runner error into the API's failure list using
@@ -141,6 +148,23 @@ func (js *jobs) CreateWithID(id, kind, client string) {
 	defer js.mu.Unlock()
 	js.byID[id] = j
 	js.order = append(js.order, id)
+	for len(js.order) > js.maxJobs {
+		delete(js.byID, js.order[0])
+		js.order = js.order[1:]
+	}
+}
+
+// Restore registers a job rebuilt from the journal, preserving its
+// journaled state (recovery's path into the registry; live requests go
+// through CreateWithID).
+func (js *jobs) Restore(j Job) {
+	cp := j
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if _, exists := js.byID[j.ID]; !exists {
+		js.order = append(js.order, j.ID)
+	}
+	js.byID[j.ID] = &cp
 	for len(js.order) > js.maxJobs {
 		delete(js.byID, js.order[0])
 		js.order = js.order[1:]

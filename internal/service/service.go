@@ -22,8 +22,11 @@ import (
 	"context"
 	"expvar"
 	"fmt"
+	"sync"
 	"time"
 
+	"repro/internal/durable"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/trace"
@@ -71,6 +74,31 @@ type Config struct {
 	// cost a few hundred bytes each and the ring is bounded, so request
 	// traces are available without opt-in flags.
 	TraceSpans int
+
+	// JournalDir roots the durable job journal (an append-only WAL under
+	// results/jobs/ in production). Empty disables journaling — and with
+	// it crash recovery and post-restart idempotency accounting.
+	JournalDir string
+	// Fsync is the durability policy for the journal (and, via cmd/mctd,
+	// for checkpoint/cache writes): PolicyOff survives process crashes
+	// (page cache), PolicyData also survives power loss for completed
+	// jobs, PolicyAlways fsyncs every record.
+	Fsync durable.Policy
+
+	// IdemMaxEntries / IdemMaxBodyBytes bound the idempotency replay
+	// store (0 = 4096 entries / 4 MiB per body). Responses larger than
+	// the body cap are not replayed — retries recompute via the memo
+	// cache instead, which is still byte-identical.
+	IdemMaxEntries   int
+	IdemMaxBodyBytes int
+
+	// Brownout configures the overload-shedding ladder (disabled unless
+	// Brownout.Enabled).
+	Brownout BrownoutConfig
+
+	// Logf receives operational diagnostics (journal damage, brownout
+	// transitions, recovery progress). Nil discards.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -122,12 +150,25 @@ type Service struct {
 	jobs  *jobs
 	cache *runner.Cache // nil with NoCache
 	bat   *batcher
+	logf  func(format string, args ...any)
 
-	start   time.Time
-	records counter // simulated records (instructions/accesses), for rate
-	retried counter
-	slow    counter // slow-task detections (fed by cmd/mctd's slow log)
-	vars    *expvar.Map
+	// Robustness spine: the durable job journal (write-through from the
+	// registry, replayed by Recover), the idempotency replay store, and
+	// the brownout overload controller.
+	jlog        *jobLog
+	jlogOpenErr error
+	idem        *idemStore
+	brown       *brownout
+	recoverWG   sync.WaitGroup
+
+	start     time.Time
+	records   counter // simulated records (instructions/accesses), for rate
+	retried   counter
+	slow      counter // slow-task detections (fed by cmd/mctd's slow log)
+	recovered counter // jobs resolved by boot-time recovery
+	jnlWrites counter
+	jnlErrs   counter
+	vars      *expvar.Map
 
 	// Observability spine: a per-instance metric registry (Prometheus
 	// exposition), the span ring behind GET /v1/trace/{job}, and the
@@ -151,13 +192,29 @@ func New(cfg Config) *Service {
 		jobs:  newJobs(cfg.MaxJobs),
 		start: time.Now(),
 	}
+	s.logf = cfg.Logf
 	if !cfg.NoCache {
 		s.cache = runner.Open(cfg.CacheDir)
 	}
+	s.jlog = &jobLog{logf: cfg.Logf, errs: &s.jnlErrs, writes: &s.jnlWrites}
+	if cfg.JournalDir != "" {
+		j, err := journal.Open(cfg.JournalDir, journal.Options{Sync: cfg.Fsync, Logf: cfg.Logf})
+		if err != nil {
+			// Deferred, not swallowed: Recover (the boot path) surfaces it so
+			// an operator's misconfigured journal dir fails the boot, while
+			// tests that never recover still construct a service.
+			s.jlogOpenErr = err
+		} else {
+			s.jlog.j = j
+		}
+	}
+	s.idem = newIdemStore(cfg.IdemMaxEntries, cfg.IdemMaxBodyBytes)
+	s.brown = newBrownout(s, cfg.Brownout)
 	s.ring = obs.NewRing(cfg.TraceSpans)
 	s.reg = s.buildRegistry()
 	s.bat = newBatcher(cfg.BatchSize, cfg.BatchWait, s.runBatch)
 	s.vars = s.buildVars()
+	s.brown.run()
 	return s
 }
 
@@ -176,14 +233,24 @@ func (s *Service) supervision() []runner.Option {
 func (s *Service) StartDrain() { s.adm.StartDrain() }
 
 // Drain performs the full graceful shutdown: gate shut, wait for every
-// admitted request to finish (bounded by ctx), then stop the batcher.
+// admitted request AND every recovery re-drive to finish (bounded by
+// ctx), then stop the batcher, the brownout ticker, and the journal.
 // After Drain returns nil the process holds no in-flight work.
 func (s *Service) Drain(ctx context.Context) error {
 	s.adm.StartDrain()
 	if err := s.adm.AwaitIdle(ctx); err != nil {
 		return fmt.Errorf("service: drain: %w", err)
 	}
+	if err := s.AwaitRecovery(ctx); err != nil {
+		return fmt.Errorf("service: drain: recovery jobs: %w", err)
+	}
 	s.bat.stop()
+	s.brown.close()
+	if s.jlog != nil && s.jlog.j != nil {
+		if err := s.jlog.j.Close(); err != nil && s.logf != nil {
+			s.logf("service: closing journal: %v", err)
+		}
+	}
 	return nil
 }
 
@@ -229,6 +296,24 @@ func (s *Service) buildRegistry() *obs.Registry {
 		func() float64 { _, m := s.cache.Stats(); return float64(m) })
 	r.Counter("mct_slow_tasks_total", "Task attempts flagged by the slow-task log.",
 		func() float64 { return float64(s.slow.Load()) })
+	r.Counter("mct_journal_records_total", "Job journal records appended.",
+		func() float64 { return float64(s.jnlWrites.Load()) })
+	r.Counter("mct_journal_errors_total", "Job journal append failures (durability degraded).",
+		func() float64 { return float64(s.jnlErrs.Load()) })
+	r.Counter("mct_jobs_recovered_total", "Jobs resolved by boot-time journal recovery.",
+		func() float64 { return float64(s.recovered.Load()) })
+	r.Counter("mct_idem_replayed_total", "Requests answered from the idempotency replay store.",
+		func() float64 { return float64(s.idem.replayed.Load()) })
+	r.Counter("mct_idem_stored_total", "Outcomes committed to the idempotency replay store.",
+		func() float64 { return float64(s.idem.stored.Load()) })
+	r.Counter("mct_idem_coalesced_total", "Duplicate requests coalesced onto an in-flight leader.",
+		func() float64 { return float64(s.idem.inflight.Load()) })
+	r.Counter("mct_brownout_transitions_total", "Brownout ladder level changes.",
+		func() float64 { return float64(s.brown.transitions.Load()) })
+	r.Counter("mct_brownout_shed_total", "Requests shed by the brownout controller.",
+		func() float64 { return float64(s.brown.sheds.Load()) })
+	r.Gauge("mct_brownout_level", "Current brownout ladder level (0 normal .. 3 breaker open).",
+		func() float64 { return float64(s.brown.Level()) })
 	r.Gauge("mct_queue_inflight", "Requests currently admitted and in flight.",
 		func() float64 { return float64(s.adm.Inflight()) })
 	r.Gauge("mct_queue_waiters", "Requests blocked waiting for an admission slot.",
@@ -301,6 +386,15 @@ func (s *Service) buildVars() *expvar.Map {
 		return float64(s.records.Load()) / el
 	})
 	gauge("slow_tasks", func() any { return s.slow.Load() })
+	gauge("journal_records", func() any { return s.jnlWrites.Load() })
+	gauge("journal_errors", func() any { return s.jnlErrs.Load() })
+	gauge("jobs_recovered", func() any { return s.recovered.Load() })
+	gauge("idem_replayed", func() any { return s.idem.replayed.Load() })
+	gauge("idem_stored", func() any { return s.idem.stored.Load() })
+	gauge("idem_coalesced", func() any { return s.idem.inflight.Load() })
+	gauge("brownout_level", func() any { return s.brown.Level() })
+	gauge("brownout_transitions", func() any { return s.brown.transitions.Load() })
+	gauge("brownout_shed", func() any { return s.brown.sheds.Load() })
 	// Histogram digests, flattened to numbers: the expvar map stays
 	// decodable as map[string]float64 (a contract existing clients and
 	// tests rely on); full bucket detail lives in ?format=prometheus.
