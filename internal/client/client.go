@@ -103,8 +103,9 @@ type Options struct {
 	// round-trippers here). Default: a plain client with no global timeout
 	// — deadlines come from the caller's context.
 	HTTPClient *http.Client
-	// MaxAttempts bounds total tries per logical request (first attempt
-	// included). Default 5.
+	// MaxAttempts bounds total HTTP attempts per logical request (first
+	// attempt and any hedge copies included) — a hedged try consumes two
+	// attempts when the hedge actually launches. Default 5.
 	MaxAttempts int
 	// BaseBackoff is the first retry delay before jitter; doubles each
 	// attempt. Default 100ms.
@@ -367,7 +368,7 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 			lastStatus = resp.Status
 		}
 
-		if !kind.retryable() || try >= c.opts.MaxAttempts || ctx.Err() != nil {
+		if !kind.retryable() || attempts >= c.opts.MaxAttempts || ctx.Err() != nil {
 			return nil, &Error{Kind: kind, Status: lastStatus, Attempts: attempts, Err: lastErr}
 		}
 		d := c.backoff(try, retryAfter, &rng)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"testing"
@@ -176,11 +177,14 @@ func TestConnectRefusedRetries(t *testing.T) {
 // the same idempotency key so the server can dedupe.
 func TestHedgeWins(t *testing.T) {
 	var calls atomic.Int32
+	var mu sync.Mutex // the slow primary is still in-flight when the test asserts
 	var keys [2]string
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		n := calls.Add(1)
 		if n <= 2 {
+			mu.Lock()
 			keys[n-1] = r.Header.Get(IdempotencyHeader)
+			mu.Unlock()
 		}
 		if n == 1 {
 			time.Sleep(500 * time.Millisecond) // slow primary
@@ -201,11 +205,38 @@ func TestHedgeWins(t *testing.T) {
 	if !resp.Hedged || resp.Attempts != 2 {
 		t.Fatalf("resp = %+v, want hedged with 2 attempts", resp)
 	}
-	if keys[0] == "" || keys[0] != keys[1] {
-		t.Fatalf("hedge keys = %q, want identical non-empty", keys)
+	mu.Lock()
+	k := keys
+	mu.Unlock()
+	if k[0] == "" || k[0] != k[1] {
+		t.Fatalf("hedge keys = %q, want identical non-empty", k)
 	}
 	if st := c.Stats(); st.Hedges != 1 {
 		t.Fatalf("stats = %+v, want 1 hedge", st)
+	}
+}
+
+// TestHedgeCountsAgainstMaxAttempts: a hedged try issues two real HTTP
+// attempts and both count toward MaxAttempts — the bound is on attempts
+// hitting the server, not on retry-loop iterations, so hedging can never
+// double the documented request budget.
+func TestHedgeCountsAgainstMaxAttempts(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		time.Sleep(30 * time.Millisecond) // outlast HedgeAfter so the hedge launches
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := newClient(t, Options{BaseURL: srv.URL, MaxAttempts: 2, HedgeAfter: 5 * time.Millisecond})
+	_, err := c.Do(context.Background(), Request{Path: "/x", Hedge: true})
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Attempts != 2 {
+		t.Fatalf("error = %#v, want terminal after 2 attempts", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d HTTP attempts, want exactly MaxAttempts=2 (one hedged try)", calls.Load())
 	}
 }
 

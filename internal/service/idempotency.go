@@ -137,13 +137,17 @@ func storable(status int) bool {
 // recordingWriter tees a response into memory while passing it through,
 // so a committed outcome can be replayed byte-identically. Recording
 // stops (and the outcome becomes non-storable) past maxBody — giant
-// streams fall back to memo-cache-backed recompute on retry.
+// streams fall back to memo-cache-backed recompute on retry. Any
+// underlying write failure is remembered in err: it means the client
+// saw at most a prefix of the body, so what was recorded must never be
+// committed as a complete outcome.
 type recordingWriter struct {
 	http.ResponseWriter
 	status   int
 	body     []byte
 	maxBody  int
 	overflow bool
+	err      error
 }
 
 func (rw *recordingWriter) WriteHeader(code int) {
@@ -165,7 +169,11 @@ func (rw *recordingWriter) Write(p []byte) (int, error) {
 			rw.body = append(rw.body, p...)
 		}
 	}
-	return rw.ResponseWriter.Write(p)
+	n, err := rw.ResponseWriter.Write(p)
+	if err != nil && rw.err == nil {
+		rw.err = err
+	}
+	return n, err
 }
 
 // Flush keeps NDJSON streaming working through the recorder.
@@ -194,19 +202,35 @@ func (s *Service) idempotent(h http.HandlerFunc) http.HandlerFunc {
 			entry, leader := s.idem.begin(key)
 			if leader {
 				rw := &recordingWriter{ResponseWriter: w, maxBody: s.idem.maxBody}
+				committed := false
+				// Runs on panic too: net/http recovers handler panics
+				// per-connection, and without this abort the entry's done
+				// channel would never close — every later request with the
+				// key would block until its own deadline, poisoning the key
+				// until restart.
+				defer func() {
+					if !committed {
+						s.idem.abort(key)
+					}
+				}()
 				h(rw, r)
 				if rw.status == 0 {
 					rw.status = http.StatusOK
 				}
-				if storable(rw.status) && !rw.overflow {
+				// A failed underlying write or a disconnected client means
+				// the recorded body may be a torn prefix (a streaming
+				// handler stops mid-NDJSON when emit fails) even though the
+				// status was already 200. Committing it would replay the
+				// truncation as a complete response; aborting lets the
+				// retry recompute via the memo cache instead.
+				if storable(rw.status) && !rw.overflow && rw.err == nil && r.Context().Err() == nil {
 					s.idem.commit(key, &storedResponse{
 						status: rw.status,
 						jobID:  rw.Header().Get("X-Mct-Job"),
 						ctype:  rw.Header().Get("Content-Type"),
 						body:   rw.body,
 					})
-				} else {
-					s.idem.abort(key)
+					committed = true
 				}
 				return
 			}

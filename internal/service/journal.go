@@ -167,6 +167,11 @@ func (s *Service) Recover(ctx context.Context) (RecoveryStats, error) {
 	}
 
 	var live [][]byte
+	type redriveItem struct {
+		id, kind string
+		spec     json.RawMessage
+	}
+	var redrives []redriveItem
 	for _, id := range order {
 		rj := byID[id]
 		st.Jobs++
@@ -190,7 +195,7 @@ func (s *Service) Recover(ctx context.Context) (RecoveryStats, error) {
 		case rj.spec != nil:
 			st.Redriven++
 			s.jobs.Restore(job)
-			s.redrive(ctx, id, rj.rec.Kind, rj.spec)
+			redrives = append(redrives, redriveItem{id: id, kind: rj.rec.Kind, spec: rj.spec})
 			live = append(live, mustRecord(jobRecord{Op: "create", ID: id, Kind: rj.rec.Kind,
 				Client: rj.rec.Client, Idem: rj.rec.Idem, T: rj.rec.T}))
 			live = append(live, mustRecord(jobRecord{Op: "start", ID: id, Spec: rj.spec, T: rj.rec.T}))
@@ -210,9 +215,16 @@ func (s *Service) Recover(ctx context.Context) (RecoveryStats, error) {
 	}
 	// Compact history down to the jobs still in flight; finished jobs'
 	// outcomes live in the registry (and their results in the memo
-	// cache), so their records have served their purpose.
+	// cache), so their records have served their purpose. Redrives
+	// launch only after compaction: a redrive that finished first would
+	// append its finish record to a pre-compaction segment that Compact
+	// then deletes, leaving the job looking unfinished at the next boot
+	// and re-driving it a second time.
 	if err := s.jlog.j.Compact(live); err != nil {
 		return st, fmt.Errorf("service: compacting journal after recovery: %w", err)
+	}
+	for _, rd := range redrives {
+		s.redrive(ctx, rd.id, rd.kind, rd.spec)
 	}
 	return st, nil
 }

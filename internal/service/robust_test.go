@@ -3,8 +3,10 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -305,6 +307,127 @@ func TestIdempotentRetryableOutcomeNotStored(t *testing.T) {
 	s.brown.level.Store(brownNormal)
 	if got := do("key-shed"); got != http.StatusOK {
 		t.Fatalf("retry after shed = %d, want 200 (503 must not be replayed)", got)
+	}
+}
+
+// brokenPipeWriter accepts failAfter bytes and then fails every write,
+// like a peer that disconnected mid-stream.
+type brokenPipeWriter struct {
+	hdr       http.Header
+	wrote     int
+	failAfter int
+}
+
+func (w *brokenPipeWriter) Header() http.Header { return w.hdr }
+func (w *brokenPipeWriter) WriteHeader(int)     {}
+func (w *brokenPipeWriter) Write(p []byte) (int, error) {
+	if w.wrote+len(p) > w.failAfter {
+		return 0, errors.New("write: broken pipe")
+	}
+	w.wrote += len(p)
+	return len(p), nil
+}
+
+// TestIdempotentTornStreamNotCommitted: a leader whose underlying write
+// fails mid-stream stops early (like handleSweep on emit failure) with
+// the status already recorded as 200, but the recorded body is a torn
+// prefix. Committing it would replay the truncation to the retry as a
+// complete response; instead the key must abort and the retry execute
+// for real.
+func TestIdempotentTornStreamNotCommitted(t *testing.T) {
+	s := New(Config{})
+	line1, line2 := `{"line":1}`+"\n", `{"summary":true}`+"\n"
+	calls := 0
+	h := s.idempotent(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write([]byte(line1)); err != nil {
+			return
+		}
+		if _, err := w.Write([]byte(line2)); err != nil {
+			return
+		}
+	})
+	req := func() *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/v1/classify", nil)
+		r.Header.Set(IdemHeader, "key-torn")
+		return r
+	}
+
+	// First line reaches the client, the second write hits a dead peer.
+	h(&brokenPipeWriter{hdr: http.Header{}, failAfter: len(line1)}, req())
+
+	rec := httptest.NewRecorder()
+	h(rec, req())
+	if calls != 2 {
+		t.Fatalf("retry executed %d times, want 2 (torn outcome must not be stored)", calls)
+	}
+	if rec.Header().Get(IdemReplayedHeader) == "1" {
+		t.Fatal("torn outcome was replayed")
+	}
+	if rec.Body.String() != line1+line2 {
+		t.Fatalf("retry body = %q, want the complete stream", rec.Body.String())
+	}
+}
+
+// TestIdempotentCanceledRequestNotCommitted: even when every write
+// "succeeds" (buffered), a request whose context died mid-handler may
+// have reached the client truncated — the outcome is not storable.
+func TestIdempotentCanceledRequestNotCommitted(t *testing.T) {
+	s := New(Config{})
+	calls := 0
+	h := s.idempotent(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		_, _ = w.Write([]byte("body"))
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when the leader finishes
+	r1 := httptest.NewRequest(http.MethodPost, "/v1/classify", nil).WithContext(ctx)
+	r1.Header.Set(IdemHeader, "key-gone")
+	h(httptest.NewRecorder(), r1)
+
+	r2 := httptest.NewRequest(http.MethodPost, "/v1/classify", nil)
+	r2.Header.Set(IdemHeader, "key-gone")
+	rec := httptest.NewRecorder()
+	h(rec, r2)
+	if calls != 2 || rec.Header().Get(IdemReplayedHeader) == "1" {
+		t.Fatalf("calls=%d replayed=%q; disconnected-client outcome must not be stored",
+			calls, rec.Header().Get(IdemReplayedHeader))
+	}
+}
+
+// TestIdempotentPanicReleasesKey: net/http recovers handler panics
+// per-connection, so a panicking leader must still abort its entry —
+// otherwise the done channel never closes and every later request with
+// the key blocks until its own deadline, poisoning the key until
+// restart.
+func TestIdempotentPanicReleasesKey(t *testing.T) {
+	s := New(Config{})
+	calls := 0
+	h := s.idempotent(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			panic("boom")
+		}
+		_, _ = w.Write([]byte("ok"))
+	})
+	req := func(ctx context.Context) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/v1/classify", nil).WithContext(ctx)
+		r.Header.Set(IdemHeader, "key-panic")
+		return r
+	}
+	func() {
+		defer func() { _ = recover() }() // stand in for net/http's per-connection recovery
+		h(httptest.NewRecorder(), req(context.Background()))
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rec := httptest.NewRecorder()
+	h(rec, req(ctx))
+	if calls != 2 || rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+		t.Fatalf("retry after panic: calls=%d code=%d body=%q; key is poisoned",
+			calls, rec.Code, rec.Body.String())
 	}
 }
 
