@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race ci bench bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke crash-smoke chaosnet-smoke vulncheck fuzz clean-cache
+.PHONY: build vet test race ci bench bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke crash-smoke chaosnet-smoke cluster-smoke bench-cluster vulncheck fuzz clean-cache
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet race bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke crash-smoke chaosnet-smoke vulncheck
+ci: vet race bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke crash-smoke chaosnet-smoke cluster-smoke vulncheck
 
 # Full hot-path benchmark sweep: the Go benchmarks for each package plus
 # the paperbench -bench report (BENCH_pr2.json). Use this for recorded
@@ -114,6 +114,28 @@ crash-smoke:
 # faults on the wire.
 chaosnet-smoke:
 	$(GO) test -race -count=1 -run 'TestChaosnetConvergence' -timeout 300s ./cmd/mctd
+
+# Cluster smoke: the distributed-execution gate. Boots a 3-node
+# in-process fleet (real TCP listeners, per-node caches, static peer
+# list) with one peer's listener injecting deterministic connection
+# resets, runs a 200-cell seeded sweep through the coordinator, and
+# requires: the job completes, the fleet computed every cell exactly
+# once (cache-miss accounting sums to the cell count — the resilient
+# peer client plus per-node cell singleflight absorb the resets without
+# recomputation), and the NDJSON is byte-identical to a single-node
+# run. The companion fleet tests (steal rescue, peer ejection,
+# cross-node cache-fill race) ride along. All under the race detector.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestClusterChaosSmoke|TestFleetSweepByteIdenticalNoDuplicates|TestFleetCacheFillRaceConverges|TestFleetStealRescuesStraggler|TestFleetEjectionComputesLocally|TestClusterHeaderContractsAgree' -timeout 600s ./internal/service
+
+# Cluster scaling benchmark: 3-node fleet vs single node on a 24-cell
+# sweep with a 60ms injected per-cell occupancy (the one-core proxy for
+# I/O-bound cell time; see the TestClusterScalingBench comment for the
+# methodology). Writes BENCH_pr9.json at the repo root. Not part of ci —
+# it measures, it doesn't gate.
+bench-cluster:
+	MCT_BENCH_CLUSTER=1 MCT_BENCH_CLUSTER_OUT=$(CURDIR)/BENCH_pr9.json \
+		$(GO) test -count=1 -run TestClusterScalingBench -v ./internal/service
 
 # Known-vulnerability scan, best effort: runs when govulncheck is on PATH
 # and never fails the build on environments without it (the container this

@@ -21,11 +21,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/durable"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
@@ -100,6 +102,16 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		retries      = fs.Int("retries", 2, "extra attempts per task for failures marked transient")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 
+		peersFlag     = fs.String("peers", "", "comma-separated fleet membership (host:port,...); empty = single node")
+		selfAddr      = fs.String("self", "", "this node's advertised host:port (required with -peers)")
+		vnodes        = fs.Int("vnodes", 0, "virtual nodes per peer on the hash ring (0 = default 128)")
+		ringSeed      = fs.Uint64("ring-seed", 0, "hash-ring seed; must match across the fleet")
+		probeInterval = fs.Duration("probe-interval", 500*time.Millisecond, "peer health-probe cadence")
+		probeTimeout  = fs.Duration("probe-timeout", time.Second, "per-probe timeout")
+		stealAfter    = fs.Duration("steal-after", 0, "steal a forwarded cell still unanswered after this delay (0 = off)")
+		forwardTries  = fs.Int("forward-attempts", 4, "max attempts per forwarded cell (resilient client retries)")
+		workers       = fs.Int("workers", 0, "max concurrent local cell computations (0 = GOMAXPROCS)")
+
 		traceOut   = fs.String("trace-out", "", "write finished trace spans as NDJSON to this file")
 		traceSpans = fs.Int("trace-spans", 0, "in-memory span ring size behind /v1/trace (0 = default)")
 		pprofOn    = fs.Bool("pprof", false, "mount /debug/pprof and /debug/vars (opt-in: profiling endpoints are not for the open internet)")
@@ -160,7 +172,35 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 	runner.SetDefaultOptions(runner.PartialResults(), runner.Retry(*retries, runner.DefaultBackoff))
 	defer runner.SetDefaultOptions()
 
+	// Fleet membership, if any. cl stays nil for an empty -peers list (or
+	// one naming only this node): the single-node path is untouched.
+	var peerList []string
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	cl, err := cluster.New(cluster.Config{
+		Self:            *selfAddr,
+		Peers:           peerList,
+		VNodes:          *vnodes,
+		Seed:            *ringSeed,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		StealAfter:      *stealAfter,
+		ForwardAttempts: *forwardTries,
+		Logf:            func(format string, a ...any) { fmt.Fprintf(log, format+"\n", a...) },
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mctd:", err)
+		return 2
+	}
+
 	svc := service.New(service.Config{
+		Cluster:         cl,
+		Workers:         *workers,
 		Capacity:        *capacity,
 		MaxWaiters:      maxWaiters,
 		PerClient:       *perClient,
@@ -186,6 +226,14 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		c.SetLogf(func(format string, a ...any) { fmt.Fprintf(log, format+"\n", a...) })
 	}
 	publishLiveVars(svc.Vars())
+
+	if cl.Enabled() {
+		// The service's Drain closes the cluster; mctd only starts the
+		// prober once the instance is otherwise wired.
+		cl.Start()
+		fmt.Fprintf(stderr, "mctd: cluster: self=%s ring=%v (vnodes %d, steal-after %s)\n",
+			cl.Self(), cl.Ring().Peers(), *vnodes, *stealAfter)
+	}
 
 	// Replay the job journal before accepting traffic: finished jobs are
 	// restored to the registry, interrupted ones re-drive in the

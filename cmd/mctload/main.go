@@ -23,10 +23,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/loadgen"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		url         = fs.String("url", "http://127.0.0.1:8047", "mctd base URL")
+		targetsFlag = fs.String("targets", "", "comma-separated mctd base URLs for fleet runs (overrides -url; workers spread round-robin)")
 		duration    = fs.Duration("duration", 10*time.Second, "how long to generate load")
 		concurrency = fs.Int("concurrency", 8, "worker-fleet size (closed-loop)")
 		qps         = fs.Float64("qps", 0, "aggregate target QPS (0 = unpaced closed loop)")
@@ -68,8 +71,18 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mctload: network chaos active: %s\n", chaos)
 	}
 
+	var targetList []string
+	if *targetsFlag != "" {
+		for _, t := range strings.Split(*targetsFlag, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targetList = append(targetList, t)
+			}
+		}
+	}
+
 	report, err := loadgen.Run(context.Background(), loadgen.Config{
 		BaseURL:          *url,
+		Targets:          targetList,
 		Concurrency:      *concurrency,
 		Duration:         *duration,
 		QPS:              *qps,
@@ -89,14 +102,29 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	// Fold in the server's own histograms. Best-effort: a target without
+	// Fold in the servers' own histograms. Best-effort: a target without
 	// the Prometheus endpoint still yields a valid client-side report.
 	scrapeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if sm, err := loadgen.ScrapeServer(scrapeCtx, nil, *url); err != nil {
-		fmt.Fprintln(stderr, "mctload: server metrics unavailable:", err)
-	} else {
-		report.Server = sm
+	scrapeList := targetList
+	if len(scrapeList) == 0 {
+		scrapeList = []string{*url}
+	}
+	for i, tgt := range scrapeList {
+		sm, err := loadgen.ScrapeServer(scrapeCtx, nil, tgt)
+		if err != nil {
+			fmt.Fprintf(stderr, "mctload: server metrics unavailable from %s: %v\n", tgt, err)
+			continue
+		}
+		if i == 0 {
+			report.Server = sm
+		}
+		if len(scrapeList) > 1 {
+			if report.Servers == nil {
+				report.Servers = map[string]*perf.ServerMetrics{}
+			}
+			report.Servers[tgt] = sm
+		}
 	}
 
 	if !*quiet {

@@ -165,6 +165,11 @@ type Request struct {
 	// NoIdempotency suppresses the idempotency key for requests that are
 	// intentionally non-idempotent. Default is to always send one.
 	NoIdempotency bool
+	// IdempotencyKey, when set, is sent verbatim instead of a freshly
+	// minted key. Forwarding layers use this to propagate the caller's
+	// key unchanged, so the idempotency store one hop away dedupes the
+	// caller's retries exactly as the first hop would have.
+	IdempotencyKey string
 }
 
 // Response is a fully-read reply: Do never hands back a stream that can
@@ -178,18 +183,23 @@ type Response struct {
 }
 
 // Error is the terminal failure of a Do call after retries exhausted.
+// Target names the base URL the failure terminated against, so callers
+// juggling several clients (multi-target mctload, cluster forwarding)
+// can attribute the failure to a node instead of aggregating across the
+// fleet.
 type Error struct {
 	Kind     FailureKind
 	Status   int // last HTTP status, 0 for transport failures
 	Attempts int
+	Target   string // the client's BaseURL
 	Err      error
 }
 
 func (e *Error) Error() string {
 	if e.Status != 0 {
-		return fmt.Sprintf("client: %s (HTTP %d) after %d attempts: %v", e.Kind, e.Status, e.Attempts, e.Err)
+		return fmt.Sprintf("client: %s (HTTP %d) from %s after %d attempts: %v", e.Kind, e.Status, e.Target, e.Attempts, e.Err)
 	}
-	return fmt.Sprintf("client: %s after %d attempts: %v", e.Kind, e.Attempts, e.Err)
+	return fmt.Sprintf("client: %s from %s after %d attempts: %v", e.Kind, e.Target, e.Attempts, e.Err)
 }
 
 func (e *Error) Unwrap() error { return e.Err }
@@ -235,6 +245,10 @@ func New(opts Options) (*Client, error) {
 	}
 	return &Client{opts: opts.withDefaults(), byKind: map[FailureKind]uint64{}}, nil
 }
+
+// Target returns the client's base URL, the address Error.Target and
+// per-target load attribution report against.
+func (c *Client) Target() string { return c.opts.BaseURL }
 
 // Stats snapshots the lifetime counters.
 func (c *Client) Stats() Stats {
@@ -331,7 +345,11 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 	}
 	key := ""
 	if !req.NoIdempotency {
-		key = c.newKey()
+		if req.IdempotencyKey != "" {
+			key = req.IdempotencyKey
+		} else {
+			key = c.newKey()
+		}
 	}
 
 	rng := splitmix64(c.opts.Seed ^ c.keySeq.Load())
@@ -369,7 +387,7 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 		}
 
 		if !kind.retryable() || attempts >= c.opts.MaxAttempts || ctx.Err() != nil {
-			return nil, &Error{Kind: kind, Status: lastStatus, Attempts: attempts, Err: lastErr}
+			return nil, &Error{Kind: kind, Status: lastStatus, Attempts: attempts, Target: c.opts.BaseURL, Err: lastErr}
 		}
 		d := c.backoff(try, retryAfter, &rng)
 		if c.opts.Logf != nil {
@@ -380,7 +398,7 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 		select {
 		case <-time.After(d):
 		case <-ctx.Done():
-			return nil, &Error{Kind: kind, Status: lastStatus, Attempts: attempts,
+			return nil, &Error{Kind: kind, Status: lastStatus, Attempts: attempts, Target: c.opts.BaseURL,
 				Err: fmt.Errorf("%w (canceled during backoff after %v)", lastErr, ctx.Err())}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -318,5 +319,68 @@ func TestParseRetryAfter(t *testing.T) {
 	h.Set("Retry-After", "garbage")
 	if parseRetryAfter(h) != 0 {
 		t.Error("garbage should be 0")
+	}
+}
+
+// TestErrorTargetNamesPeer: a terminal failure carries the base URL it
+// terminated against, so a multi-target caller (the load generator's
+// fleet mode, the cluster's forwarding layer) can attribute failures to
+// the peer that produced them.
+func TestErrorTargetNamesPeer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := newClient(t, Options{BaseURL: srv.URL, MaxAttempts: 3})
+	_, err := c.Do(context.Background(), Request{Path: "/x"})
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %#v, want *Error", err)
+	}
+	if ce.Target != srv.URL {
+		t.Fatalf("Error.Target = %q, want %q", ce.Target, srv.URL)
+	}
+	if c.Target() != srv.URL {
+		t.Fatalf("Client.Target() = %q, want %q", c.Target(), srv.URL)
+	}
+	if !strings.Contains(ce.Error(), srv.URL) {
+		t.Errorf("Error() = %q: should name the target", ce.Error())
+	}
+}
+
+// TestExplicitIdempotencyKey: a request carrying IdempotencyKey sends it
+// verbatim on every attempt — the cluster forwarding contract (a
+// forwarded cell must reach the owner under the CALLER's key, not a
+// fresh one) depends on this.
+func TestExplicitIdempotencyKey(t *testing.T) {
+	var keys []string
+	var mu sync.Mutex
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get(IdempotencyHeader))
+		mu.Unlock()
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	c := newClient(t, Options{BaseURL: srv.URL, MaxAttempts: 3})
+	if _, err := c.Do(context.Background(), Request{Method: "POST", Path: "/x", Body: []byte(`{}`), IdempotencyKey: "fixed-key-7"}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 2 {
+		t.Fatalf("saw %d attempts, want 2", len(keys))
+	}
+	for i, k := range keys {
+		if k != "fixed-key-7" {
+			t.Errorf("attempt %d key = %q, want fixed-key-7 (explicit key must pass through unchanged)", i, k)
+		}
 	}
 }

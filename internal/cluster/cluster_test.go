@@ -1,0 +1,327 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// testNode boots an httptest server and returns it plus its host:port
+// (the address form the ring and the prober use).
+func testNode(t *testing.T, h http.Handler) (*httptest.Server, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestNewSingleNodeIsNil(t *testing.T) {
+	for _, cfg := range []Config{
+		{Self: "a:1"},
+		{Self: "a:1", Peers: []string{}},
+		{Self: "a:1", Peers: []string{"a:1"}},
+		{Self: "a:1", Peers: []string{"a:1", "", "a:1"}},
+	} {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", cfg, err)
+		}
+		if c != nil {
+			t.Fatalf("New(%+v) = %v, want nil (single node)", cfg, c)
+		}
+	}
+	// Peers without Self is a config error, not a silent single node.
+	if _, err := New(Config{Peers: []string{"b:2"}}); err == nil {
+		t.Fatal("New with peers but no self: want error")
+	}
+}
+
+func TestNilClusterIsSafe(t *testing.T) {
+	var c *Cluster
+	if c.Enabled() {
+		t.Error("nil cluster Enabled() = true")
+	}
+	if addr, local := c.Owner("k"); !local || addr != "" {
+		t.Errorf("nil cluster Owner = (%q, %v), want local", addr, local)
+	}
+	if c.Counters() != (Counters{}) {
+		t.Error("nil cluster Counters() nonzero")
+	}
+	if _, _, err := c.ExecCell(t.Context(), "x", CellRequest{}, ForwardMeta{}); err == nil {
+		t.Error("nil cluster ExecCell: want error")
+	}
+	if _, ok, err := c.PullCache(t.Context(), "x", "s", "k"); ok || err != nil {
+		t.Errorf("nil cluster PullCache = (%v, %v), want clean miss", ok, err)
+	}
+	c.Start()
+	c.Close()
+	c.NoteSteal()
+	c.NoteFill()
+}
+
+func TestOwnerRoutesToSelfAndPeers(t *testing.T) {
+	c, err := New(Config{Self: "self:1", Peers: []string{"peer-a:1", "peer-b:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Enabled() {
+		t.Fatal("Enabled() = false with two peers")
+	}
+	seen := map[string]int{}
+	for _, k := range testKeys(3000) {
+		addr, local := c.Owner(k)
+		if local != (addr == "self:1") {
+			t.Fatalf("Owner(%q) = (%q, local=%v): inconsistent", k, addr, local)
+		}
+		seen[addr]++
+	}
+	for _, member := range []string{"self:1", "peer-a:1", "peer-b:1"} {
+		if seen[member] == 0 {
+			t.Errorf("member %s owns no keys at all", member)
+		}
+	}
+}
+
+func TestProbeEjectAndRestore(t *testing.T) {
+	var sick atomic.Bool
+	_, goodAddr := testNode(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	_, flakyAddr := testNode(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sick.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable) // draining counts unhealthy
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	c, err := New(Config{
+		Self:          "self:1",
+		Peers:         []string{goodAddr, flakyAddr},
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		FailThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Close()
+
+	ringHas := func(addr string) bool {
+		for _, p := range c.Ring().Peers() {
+			if p == addr {
+				return true
+			}
+		}
+		return false
+	}
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", desc)
+	}
+
+	waitFor("initial 3-member ring", func() bool { return len(c.Ring().Peers()) == 3 })
+
+	sick.Store(true)
+	waitFor("flaky peer ejected", func() bool { return !ringHas(flakyAddr) })
+	if !ringHas(goodAddr) {
+		t.Error("healthy peer ejected alongside the sick one")
+	}
+	if got := c.Counters().Ejections; got != 1 {
+		t.Errorf("Ejections = %d, want 1", got)
+	}
+
+	sick.Store(false)
+	waitFor("flaky peer restored", func() bool { return ringHas(flakyAddr) })
+	if got := c.Counters().Restores; got != 1 {
+		t.Errorf("Restores = %d, want 1", got)
+	}
+	if len(c.Ring().Peers()) != 3 {
+		t.Errorf("ring has %v, want all 3 members", c.Ring().Peers())
+	}
+}
+
+func TestExecCellSingleflight(t *testing.T) {
+	var hits atomic.Int64
+	_, addr := testNode(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster/cell" {
+			http.NotFound(w, r)
+			return
+		}
+		hits.Add(1)
+		time.Sleep(50 * time.Millisecond) // hold the flight open so callers pile up
+		w.Header().Set(CacheHeader, "miss")
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"v":1}`)
+	}))
+	c, err := New(Config{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]string, callers)
+	req := CellRequest{Slug: "fig2", Payload: json.RawMessage(`{}`), Key: "kkkk"}
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, hit, err := c.ExecCell(t.Context(), addr, req, ForwardMeta{})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			if hit {
+				t.Errorf("caller %d: hit=true, want miss", i)
+			}
+			results[i] = string(raw)
+		}(i)
+	}
+	wg.Wait()
+	if got := hits.Load(); got != 1 {
+		t.Errorf("owner saw %d requests for one cell, want 1 (singleflight)", got)
+	}
+	for i, r := range results {
+		if r != `{"v":1}` {
+			t.Errorf("caller %d got %q", i, r)
+		}
+	}
+	if got := c.Counters().Forwards; got != 1 {
+		t.Errorf("Forwards = %d, want 1", got)
+	}
+}
+
+func TestForwardPropagatesMeta(t *testing.T) {
+	var gotTrace, gotPrio, gotIdem atomic.Value
+	_, addr := testNode(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTrace.Store(r.Header.Get(TraceIDHeader))
+		gotPrio.Store(r.Header.Get(PriorityHeader))
+		gotIdem.Store(r.Header.Get(client.IdempotencyHeader))
+		w.Header().Set(CacheHeader, "hit")
+		fmt.Fprint(w, `{}`)
+	}))
+	c, err := New(Config{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fm := ForwardMeta{TraceID: "job-123", Priority: "low", IdemKey: "caller-key-42"}
+	_, hit, err := c.ExecCell(t.Context(), addr, CellRequest{Slug: "s", Payload: json.RawMessage(`{}`), Key: "k"}, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("hit=false, want true (owner said hit)")
+	}
+	if got := gotTrace.Load(); got != "job-123" {
+		t.Errorf("trace header = %v, want job-123", got)
+	}
+	if got := gotPrio.Load(); got != "low" {
+		t.Errorf("priority header = %v, want low", got)
+	}
+	if got := gotIdem.Load(); got != "caller-key-42" {
+		t.Errorf("idempotency key = %v, want caller-key-42 (must propagate unchanged)", got)
+	}
+}
+
+func TestPullCache(t *testing.T) {
+	_, addr := testNode(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/present") && r.URL.Query().Get("slug") == "fig2" {
+			fmt.Fprint(w, `{"cached":true}`)
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"no cached result","status":404}`)
+	}))
+	c, err := New(Config{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	raw, ok, err := c.PullCache(t.Context(), addr, "fig2", "present")
+	if err != nil || !ok {
+		t.Fatalf("PullCache(present) = (%v, %v), want hit", ok, err)
+	}
+	if string(raw) != `{"cached":true}` {
+		t.Errorf("pulled %q", raw)
+	}
+	if _, ok, err := c.PullCache(t.Context(), addr, "fig2", "absent"); ok || err != nil {
+		t.Errorf("PullCache(absent) = (%v, %v), want clean miss (404 is not an error)", ok, err)
+	}
+	cs := c.Counters()
+	if cs.CachePulls != 2 || cs.PullHits != 1 {
+		t.Errorf("pulls=%d hits=%d, want 2/1", cs.CachePulls, cs.PullHits)
+	}
+	if _, _, err := c.PullCache(t.Context(), "nosuch:1", "fig2", "k"); err == nil {
+		t.Error("PullCache(unknown peer): want error")
+	}
+}
+
+func TestExecCellLeaderFailureRetries(t *testing.T) {
+	// First request fails terminally (400 is not retried by the client);
+	// the waiter must become the new leader and succeed, not inherit the
+	// dead leader's failure.
+	var n atomic.Int64
+	_, addr := testNode(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			time.Sleep(20 * time.Millisecond) // let the waiter enqueue
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":"bad","status":400}`)
+			return
+		}
+		w.Header().Set(CacheHeader, "miss")
+		fmt.Fprint(w, `{"v":2}`)
+	}))
+	c, err := New(Config{Self: "self:1", Peers: []string{addr}, ForwardAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	req := CellRequest{Slug: "s", Payload: json.RawMessage(`{}`), Key: "retry-key"}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	raws := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, _, err := c.ExecCell(t.Context(), addr, req, ForwardMeta{})
+			errs[i], raws[i] = err, string(raw)
+		}(i)
+	}
+	wg.Wait()
+	okCount := 0
+	for i := range errs {
+		if errs[i] == nil {
+			okCount++
+			if raws[i] != `{"v":2}` {
+				t.Errorf("caller %d succeeded with %q", i, raws[i])
+			}
+		}
+	}
+	if okCount == 0 {
+		t.Error("no caller succeeded: waiter inherited the leader's failure instead of retrying")
+	}
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// testKeys generates n deterministic pseudo-keys shaped like memo keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	x := uint64(0x243f6a8885a308d3)
+	for i := range keys {
+		// splitmix64 step, hex-rendered: deterministic, well spread.
+		x += 0x9e3779b97f4a7c15
+		z := (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		keys[i] = fmt.Sprintf("%016x%016x%016x%016x", z, z^x, x, z>>1)
+	}
+	return keys
+}
+
+// TestRingGolden pins concrete ownership decisions. These values were
+// computed once and must never change: every node in a fleet routes by
+// this function, so a silent change to the hash or the vnode naming
+// scheme would split a mixed-version fleet's routing. If this test
+// fails, the ring format changed — that requires a coordinated fleet
+// restart and a deliberate update here.
+func TestRingGolden(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:2", "c:3"}, 128, 42)
+	golden := map[string]string{
+		"0000000000000000000000000000000000000000000000000000000000000000": "c:3",
+		"4242424242424242424242424242424242424242424242424242424242424242": "a:1",
+		"deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef": "a:1",
+		"ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff": "b:2",
+		"cell-key-alpha": "b:2",
+		"cell-key-beta":  "c:3",
+		"cell-key-gamma": "c:3",
+		"cell-key-delta": "a:1",
+	}
+	for k, want := range golden {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%q) = %q, want %q (ring hash scheme changed!)", k, got, want)
+		}
+	}
+}
+
+// TestRingDeterministic: the ring is a pure function of (peers, vnodes,
+// seed) — peer order and duplicates must not matter, and two
+// independently built rings must agree on every key (this is what
+// stands in for cross-process determinism: there is no shared state two
+// builds could possibly communicate through).
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 128, 7)
+	b := NewRing([]string{"n3:3", "n1:1", "n2:2", "n1:1", ""}, 128, 7)
+	for _, k := range testKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("peer order changed ownership of %q: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	// A different seed must (overwhelmingly) produce a different routing.
+	c := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 128, 8)
+	diff := 0
+	keys := testKeys(2000)
+	for _, k := range keys {
+		if a.Owner(k) != c.Owner(k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("changing the seed changed no ownership at all")
+	}
+	_ = keys
+}
+
+// TestRingDistribution: at DefaultVNodes (128) and 3 peers, each peer
+// owns within 10% of a uniform share — the acceptance bound the vnode
+// count was chosen for.
+func TestRingDistribution(t *testing.T) {
+	peers := []string{"node-a:8047", "node-b:8047", "node-c:8047"}
+	r := NewRing(peers, DefaultVNodes, 0)
+	const n = 30000
+	counts := map[string]int{}
+	for _, k := range testKeys(n) {
+		counts[r.Owner(k)]++
+	}
+	want := float64(n) / float64(len(peers))
+	for _, p := range peers {
+		got := float64(counts[p])
+		dev := math.Abs(got-want) / want
+		t.Logf("%s owns %d/%d (%.1f%% deviation from uniform)", p, counts[p], n, dev*100)
+		if dev > 0.10 {
+			t.Errorf("%s owns %.0f keys, want %.0f ±10%%", p, got, want)
+		}
+	}
+}
+
+// TestRingMinimalRemap: ejecting one of N peers moves only that peer's
+// keys (≈1/N of all keys) and moves no key between surviving peers;
+// restoring it returns every key to its original owner exactly. This is
+// THE consistent-hashing property — it is what makes health-driven
+// ejection cheap (the survivors' caches stay valid).
+func TestRingMinimalRemap(t *testing.T) {
+	peers := []string{"a:1", "b:2", "c:3", "d:4"}
+	full := NewRing(peers, DefaultVNodes, 3)
+	without := NewRing([]string{"a:1", "b:2", "d:4"}, DefaultVNodes, 3)
+
+	const n = 20000
+	keys := testKeys(n)
+	before := make([]string, n)
+	moved := 0
+	for i, k := range keys {
+		before[i] = full.Owner(k)
+		after := without.Owner(k)
+		if before[i] == "c:3" {
+			if after == "c:3" {
+				t.Fatalf("key %q still owned by ejected peer", k)
+			}
+			moved++
+			continue
+		}
+		if after != before[i] {
+			t.Fatalf("key %q moved %q→%q though its owner %q survived", k, before[i], after, before[i])
+		}
+	}
+	frac := float64(moved) / float64(n)
+	t.Logf("ejecting 1 of %d peers remapped %.1f%% of keys (ideal %.1f%%)", len(peers), frac*100, 100.0/float64(len(peers)))
+	if frac < 1.0/(2*float64(len(peers))) || frac > 2.0/float64(len(peers)) {
+		t.Errorf("remap fraction %.3f outside [1/2N, 2/N] around 1/N = %.3f", frac, 1.0/float64(len(peers)))
+	}
+
+	// Restore: rebuilding with the full membership is bit-identical.
+	restored := NewRing(peers, DefaultVNodes, 3)
+	for i, k := range keys {
+		if got := restored.Owner(k); got != before[i] {
+			t.Fatalf("after restore key %q owned by %q, want %q", k, got, before[i])
+		}
+	}
+}
+
+// TestRingEmptyAndNil: the degenerate rings callers lean on — empty
+// membership owns nothing ("" = local), nil ring is safe.
+func TestRingEmptyAndNil(t *testing.T) {
+	if got := NewRing(nil, 0, 0).Owner("k"); got != "" {
+		t.Errorf("empty ring Owner = %q, want \"\"", got)
+	}
+	var r *Ring
+	if got := r.Owner("k"); got != "" {
+		t.Errorf("nil ring Owner = %q, want \"\"", got)
+	}
+	if ps := r.Peers(); ps != nil {
+		t.Errorf("nil ring Peers = %v, want nil", ps)
+	}
+	one := NewRing([]string{"solo:1"}, 4, 0)
+	for _, k := range testKeys(50) {
+		if got := one.Owner(k); got != "solo:1" {
+			t.Fatalf("single-peer ring Owner(%q) = %q", k, got)
+		}
+	}
+}

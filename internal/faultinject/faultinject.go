@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/runner"
 )
@@ -91,6 +92,30 @@ func Hang(pattern string) Fault {
 	}
 }
 
+// Delay sleeps every matching attempt for d before it proceeds — the
+// slow-dependency model. Unlike Hang it always completes, so it models
+// per-task service time rather than a wedge: the cluster scaling bench
+// uses it to give every sweep cell a fixed occupancy cost that
+// overlaps across nodes (and, on a one-core machine, honestly measures
+// the distribution layer rather than the scheduler). The sleep is cut
+// short by cancellation, returning ctx.Err like the real slow call
+// would.
+func Delay(pattern string, d time.Duration) Fault {
+	return func(ctx context.Context, label string, _ int) error {
+		if !matches(pattern, label) {
+			return nil
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
 // Panic crashes the first attempt of every matching task — the model for
 // the pool's panic isolation. Panics are never retried (a panic is a
 // bug), so a matching task fails its sweep cell permanently with a
@@ -123,13 +148,15 @@ func Chain(faults ...Fault) Fault {
 //	kind[:n][@pattern]
 //
 // where kind is error (retryable, n times per task, default 1), fatal,
-// hang, or panic; and pattern scopes the clause to task labels
-// containing it (default: all tasks). Examples:
+// hang, panic, or delay (n is a duration, e.g. delay:25ms); and pattern
+// scopes the clause to task labels containing it (default: all tasks).
+// Examples:
 //
 //	error:2            every task fails its first two attempts
 //	error:2@fig2       ...only tasks whose label contains "fig2"
 //	hang@sim/gcc       tasks matching sim/gcc hang until cancelled
 //	panic,error:1@fig1 first attempts panic; fig1 also errors once
+//	delay:25ms@sweep   every sweep cell attempt takes 25ms extra
 func Parse(spec string) (Fault, error) {
 	var faults []Fault
 	for _, clause := range strings.Split(spec, ",") {
@@ -143,6 +170,15 @@ func Parse(spec string) (Fault, error) {
 			clause = clause[:at]
 		}
 		kind, nstr, hasN := strings.Cut(clause, ":")
+		if kind == "delay" {
+			// delay takes a duration, not a count: delay:25ms@sweep.
+			d, err := time.ParseDuration(nstr)
+			if !hasN || err != nil || d <= 0 {
+				return nil, fmt.Errorf("faultinject: bad duration %q in clause %q (want e.g. delay:25ms)", nstr, clause)
+			}
+			faults = append(faults, Delay(pattern, d))
+			continue
+		}
 		n := 1
 		if hasN {
 			v, err := strconv.Atoi(nstr)
@@ -161,7 +197,7 @@ func Parse(spec string) (Fault, error) {
 		case "panic":
 			faults = append(faults, Panic(pattern))
 		default:
-			return nil, fmt.Errorf("faultinject: unknown fault kind %q (want error, fatal, hang, or panic)", kind)
+			return nil, fmt.Errorf("faultinject: unknown fault kind %q (want error, fatal, hang, panic, or delay)", kind)
 		}
 	}
 	if len(faults) == 0 {

@@ -153,6 +153,12 @@ func TestParse(t *testing.T) {
 		{"error:0", true},
 		{"error:x", true},
 		{"explode", true},
+		{"delay:25ms", false},
+		{"delay:25ms@sweep", false},
+		{"delay:1s@sweep/fig2, error:1", false},
+		{"delay", true},     // delay needs a duration
+		{"delay:3", true},   // bare count is not a duration
+		{"delay:-5ms", true},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.spec)
@@ -181,5 +187,34 @@ func TestParsedScheduleBehaves(t *testing.T) {
 	}
 	if !strings.Contains(out, "cell/1=2") {
 		t.Errorf("cell/1 should have healed:\n%s", out)
+	}
+}
+
+// TestDelaySlowsMatchingAttempts: delay is an occupancy cost, not a
+// failure — matching attempts complete after the sleep, non-matching
+// ones are untouched, and cancellation cuts the sleep short.
+func TestDelaySlowsMatchingAttempts(t *testing.T) {
+	f, err := Parse("delay:30ms@slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := f(context.Background(), "slow/cell", 0); err != nil {
+		t.Fatalf("delayed attempt errored: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("matching attempt took %v, want >= 30ms", d)
+	}
+	start = time.Now()
+	if err := f(context.Background(), "fast/cell", 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Errorf("non-matching attempt took %v, want instant", d)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := f(ctx, "slow/cell", 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cancelled delay returned %v, want deadline exceeded", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,12 @@ import (
 type Config struct {
 	// BaseURL is the mctd instance, e.g. "http://127.0.0.1:8047".
 	BaseURL string
+	// Targets, when set, spreads the fleet across several mctd instances
+	// (workers are assigned round-robin by worker ID, each worker staying
+	// with its instance — per-target results remain closed-loop). It
+	// overrides BaseURL; failure taxonomy keys gain an @target suffix so
+	// a flaky node is attributable. cmd/mctload's -targets flag feeds it.
+	Targets []string
 	// Concurrency is the worker-fleet size.
 	Concurrency int
 	// Duration bounds the run.
@@ -108,6 +115,7 @@ func (c Config) withDefaults() Config {
 // into it by the client).
 type sample struct {
 	class    string             // "classify" | "sweep"
+	target   string             // instance this request terminated against
 	status   int                // final HTTP status; 0 transport failure; -1 run-teardown discard
 	kind     client.FailureKind // terminal failure bucket, FailNone on success
 	attempts int                // total HTTP attempts the client issued
@@ -130,27 +138,36 @@ func splitmix64(x uint64) uint64 {
 // failures; request failures are data, not errors.
 func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 	cfg = cfg.withDefaults()
-	if cfg.BaseURL == "" {
-		return perf.LoadReport{}, fmt.Errorf("loadgen: BaseURL is required")
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		if cfg.BaseURL == "" {
+			return perf.LoadReport{}, fmt.Errorf("loadgen: BaseURL (or Targets) is required")
+		}
+		targets = []string{cfg.BaseURL}
 	}
 	names := workload.Names()
 	if len(names) == 0 {
 		return perf.LoadReport{}, fmt.Errorf("loadgen: no workloads registered")
 	}
-	// One shared client for the whole fleet: its key sequence guarantees
-	// distinct idempotency keys across workers. Seed is deliberately NOT
-	// cfg.Seed — keys must never repeat across runs against the same
-	// server, or the idempotency store would replay a previous run's
-	// responses; only the traffic pattern needs reproducibility.
-	cl, err := client.New(client.Options{
-		BaseURL:     cfg.BaseURL,
-		HTTPClient:  cfg.Client,
-		MaxAttempts: cfg.MaxAttempts,
-		BaseBackoff: cfg.BaseBackoff,
-		HedgeAfter:  cfg.HedgeAfter,
-	})
-	if err != nil {
-		return perf.LoadReport{}, fmt.Errorf("loadgen: %w", err)
+	// One shared client per target: each client's key sequence guarantees
+	// distinct idempotency keys across the workers it serves. Seed is
+	// deliberately NOT cfg.Seed — keys must never repeat across runs
+	// against the same server, or the idempotency store would replay a
+	// previous run's responses; only the traffic pattern needs
+	// reproducibility.
+	clients := make([]*client.Client, len(targets))
+	for i, tgt := range targets {
+		cl, err := client.New(client.Options{
+			BaseURL:     tgt,
+			HTTPClient:  cfg.Client,
+			MaxAttempts: cfg.MaxAttempts,
+			BaseBackoff: cfg.BaseBackoff,
+			HedgeAfter:  cfg.HedgeAfter,
+		})
+		if err != nil {
+			return perf.LoadReport{}, fmt.Errorf("loadgen: target %s: %w", tgt, err)
+		}
+		clients[i] = cl
 	}
 
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
@@ -177,6 +194,8 @@ func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			cl := clients[id%len(clients)]
+			tgt := targets[id%len(targets)]
 			rng := splitmix64(cfg.Seed + uint64(id)*0x9e37)
 			for {
 				if runCtx.Err() != nil {
@@ -193,7 +212,7 @@ func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 					}
 				}
 				rng = splitmix64(rng)
-				samples <- cfg.oneRequest(runCtx, cl, rng, names, id)
+				samples <- cfg.oneRequest(runCtx, cl, tgt, rng, names, id)
 			}
 		}(w)
 	}
@@ -212,8 +231,12 @@ func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 	<-done
 	elapsed := time.Since(start)
 
-	return perf.NewLoadReport(cfg.BaseURL, elapsed, cfg.Concurrency, cfg.QPS,
-		aggregate(collected, elapsed)), nil
+	report := perf.NewLoadReport(targets[0], elapsed, cfg.Concurrency, cfg.QPS,
+		aggregate(collected, elapsed, len(targets) > 1))
+	if len(targets) > 1 {
+		report.Targets = targets
+	}
+	return report, nil
 }
 
 // oneRequest issues a single classify or sweep through the shared
@@ -221,7 +244,7 @@ func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 // includes any retries and backoff, because that is what a caller
 // experiences. A context cancellation mid-request (the run ending) is
 // not counted as a service error.
-func (c Config) oneRequest(ctx context.Context, cl *client.Client, rng uint64, names []string, worker int) sample {
+func (c Config) oneRequest(ctx context.Context, cl *client.Client, target string, rng uint64, names []string, worker int) sample {
 	variant := rng % uint64(c.Variants)
 	isClassify := float64(rng%1000)/1000.0 < c.ClassifyFraction
 
@@ -257,32 +280,49 @@ func (c Config) oneRequest(ctx context.Context, cl *client.Client, rng uint64, n
 		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			return sample{class: class, status: -1} // run ended mid-flight; discard below
 		}
-		s := sample{class: class, kind: client.KindOf(err), attempts: 1, latency: lat, err: true}
+		s := sample{class: class, target: target, kind: client.KindOf(err), attempts: 1, latency: lat, err: true}
 		var ce *client.Error
 		if errors.As(err, &ce) {
 			s.status = ce.Status
 			s.attempts = ce.Attempts
+			if ce.Target != "" {
+				// The terminal peer the failure actually came from — in a
+				// multi-target run the taxonomy must name the flaky node.
+				s.target = ce.Target
+			}
 			// Same rule as the response path: rejections (429/503) are the
 			// admission controller working, not errors — even terminal ones.
 			s.err = ce.Status == 0 || (ce.Status >= 500 && ce.Status != http.StatusServiceUnavailable)
 		}
 		return s
 	}
-	return sample{class: class, status: resp.Status, attempts: resp.Attempts, hedged: resp.Hedged,
+	return sample{class: class, target: target, status: resp.Status, attempts: resp.Attempts, hedged: resp.Hedged,
 		latency: lat, err: resp.Status >= 500 && resp.Status != http.StatusServiceUnavailable}
 }
 
-// aggregate folds samples into per-class results plus a total.
-func aggregate(samples []sample, elapsed time.Duration) []perf.LoadResult {
+// aggregate folds samples into per-class results plus a total; a
+// multi-target run appends one row per target and keys by_failure as
+// kind@target, so a single flaky node is visible without cross-
+// referencing raw samples.
+func aggregate(samples []sample, elapsed time.Duration, multiTarget bool) []perf.LoadResult {
 	classes := map[string][]sample{}
+	var targetOrder []string
 	for _, s := range samples {
 		if s.status == -1 {
 			continue // request torn down by the run ending, not a data point
 		}
 		classes[s.class] = append(classes[s.class], s)
 		classes["total"] = append(classes["total"], s)
+		if multiTarget && s.target != "" {
+			key := "target:" + s.target
+			if classes[key] == nil {
+				targetOrder = append(targetOrder, key)
+			}
+			classes[key] = append(classes[key], s)
+		}
 	}
-	order := []string{"classify", "sweep", "total"}
+	sort.Strings(targetOrder)
+	order := append([]string{"classify", "sweep", "total"}, targetOrder...)
 	var out []perf.LoadResult
 	for _, name := range order {
 		ss := classes[name]
@@ -305,7 +345,11 @@ func aggregate(samples []sample, elapsed time.Duration) []perf.LoadResult {
 				if res.ByFailure == nil {
 					res.ByFailure = map[string]uint64{}
 				}
-				res.ByFailure[string(s.kind)]++
+				fkey := string(s.kind)
+				if multiTarget && s.target != "" {
+					fkey += "@" + s.target
+				}
+				res.ByFailure[fkey]++
 			}
 			// Attempts counts every HTTP request the client issued for this
 			// logical one; a hedge accounts for one of the extras (hedging

@@ -18,7 +18,11 @@ import (
 // Schema 3 added the client-resilience fields to each LoadResult —
 // retries, hedges, and the by_failure error taxonomy — so a chaos run
 // records not just what failed but what the retry layer absorbed.
-const LoadReportSchema = 3
+// Schema 4 added fleet support: Targets lists every instance a
+// multi-target run spread over, Servers carries each one's scraped
+// metrics, per-target rows join Results, and by_failure keys gain an
+// @target suffix in multi-target runs.
+const LoadReportSchema = 4
 
 // Latency summarizes a latency sample set in milliseconds.
 type Latency struct {
@@ -147,10 +151,17 @@ type LoadReport struct {
 	Concurrency int     `json:"concurrency"`
 	TargetQPS   float64 `json:"target_qps,omitempty"`
 
+	// Targets lists every instance of a multi-target (fleet) run; empty
+	// for the single-target case, where Target alone names it.
+	Targets []string `json:"targets,omitempty"`
+
 	Results []LoadResult `json:"results"`
 	// Server holds the scraped server-side metrics; nil when the target
 	// could not be scraped (the client-side results still stand alone).
 	Server *ServerMetrics `json:"server,omitempty"`
+	// Servers holds per-instance scrapes for multi-target runs, keyed by
+	// target URL (absent entries failed to scrape).
+	Servers map[string]*ServerMetrics `json:"servers,omitempty"`
 }
 
 // NewLoadReport stamps results with the environment, mirroring NewReport.

@@ -67,7 +67,10 @@ func (c *Cache) log(format string, args ...any) {
 	}
 }
 
-// Stats returns the cache's hit/miss counts for this process.
+// Stats returns the cache's hit/miss counts for this process. A miss
+// is a successfully computed (and therefore stored or storable) cell —
+// failed or canceled computations count neither, so misses across a
+// fleet sum to exactly the number of cells computed.
 func (c *Cache) Stats() (hits, misses uint64) {
 	if c == nil {
 		return 0, 0
@@ -258,6 +261,27 @@ func (c *Cache) store(slug, key string, result json.RawMessage) error {
 	return nil
 }
 
+// LoadRaw reads the raw cached result for a key already derived with
+// Key. A hit counts toward Stats; a miss counts nothing — the caller
+// decides whether a computation follows (the cluster layer peeks
+// without committing to compute, and a forwarded cell must not inflate
+// this node's miss count). Corruption handling matches load.
+func (c *Cache) LoadRaw(slug, key string) (json.RawMessage, bool) {
+	raw, ok := c.load(slug, key)
+	if ok && c != nil {
+		c.hits.Add(1)
+	}
+	return raw, ok
+}
+
+// StoreRaw writes a raw result under a pre-derived key — the cross-node
+// cache-fill path: a cell computed by a remote owner is written through
+// to the local cache so later lookups replay as local hits. Counts
+// neither hit nor miss (the work happened elsewhere).
+func (c *Cache) StoreRaw(slug, key string, raw json.RawMessage) error {
+	return c.store(slug, key, raw)
+}
+
 // Memo returns the cached result for (slug, payload) if present, else runs
 // compute, stores its result, and returns it. hit reports whether the
 // value came from disk.
@@ -283,12 +307,17 @@ func Memo[T any](c *Cache, slug string, payload any, compute func() (T, error)) 
 		// quarantine the evidence, then fall through and recompute.
 		c.quarantine(key, fmt.Sprintf("result does not decode into the current %s result type", slug))
 	}
-	if c != nil {
-		c.misses.Add(1)
-	}
 	computed, err := compute()
 	if err != nil {
 		return v, false, err
+	}
+	// The miss counts only once compute succeeds, making misses mean
+	// "cells this process actually computed": a canceled or failed
+	// attempt whose retry recomputes must not count the cell twice —
+	// the fleet-wide zero-duplicate accounting (sum of misses across
+	// nodes == cells computed) depends on this.
+	if c != nil {
+		c.misses.Add(1)
 	}
 	raw, err := json.Marshal(computed)
 	if err != nil {

@@ -373,3 +373,52 @@ func TestNilCacheQuarantineAccessors(t *testing.T) {
 		t.Error("nil cache Quarantined() != 0")
 	}
 }
+
+// TestRawAccessorsCounterSemantics: the cluster layer's accounting
+// invariant — summing misses across a fleet equals cells computed —
+// depends on LoadRaw counting hits but never misses (a peek is not a
+// commitment to compute) and StoreRaw counting nothing (a cross-node
+// fill did its work elsewhere).
+func TestRawAccessorsCounterSemantics(t *testing.T) {
+	c := Open(t.TempDir())
+	key, err := Key("raw-slug", map[string]int{"n": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LoadRaw("raw-slug", key); ok {
+		t.Fatal("LoadRaw hit on empty cache")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("after missed LoadRaw: hits=%d misses=%d, want 0/0 (a peek is not a miss)", h, m)
+	}
+	if err := c.StoreRaw("raw-slug", key, json.RawMessage(`{"v":7}`)); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("after StoreRaw: hits=%d misses=%d, want 0/0 (remote fill is not local work)", h, m)
+	}
+	raw, ok := c.LoadRaw("raw-slug", key)
+	if !ok || string(raw) != `{"v":7}` {
+		t.Fatalf("LoadRaw after fill = (%q, %v)", raw, ok)
+	}
+	if h, m := c.Stats(); h != 1 || m != 0 {
+		t.Fatalf("after hit LoadRaw: hits=%d misses=%d, want 1/0", h, m)
+	}
+	// The filled entry replays through Memo identically — the fleet-wide
+	// cache-coherence property in miniature.
+	v, hit, err := Memo(c, "raw-slug", map[string]int{"n": 7}, func() (map[string]int, error) {
+		t.Fatal("Memo recomputed a remotely filled cell")
+		return nil, nil
+	})
+	if err != nil || !hit || v["v"] != 7 {
+		t.Fatalf("Memo over filled entry = (%v, %v, %v)", v, hit, err)
+	}
+	// Nil cache: raw accessors are as safe as the rest of the API.
+	var nc *Cache
+	if _, ok := nc.LoadRaw("s", key); ok {
+		t.Error("nil cache LoadRaw hit")
+	}
+	if err := nc.StoreRaw("s", key, json.RawMessage(`{}`)); err != nil {
+		t.Errorf("nil cache StoreRaw: %v", err)
+	}
+}

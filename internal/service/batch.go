@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,7 +10,6 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/runner"
-	"repro/internal/trace"
 )
 
 // classifyArtifact is the memoized product of a spec-path classification:
@@ -176,33 +174,28 @@ func (s *Service) runBatch(items []*batchItem) {
 	}
 }
 
-// classifyMemo computes (or replays) one spec-path classification through
-// the memoization cache. The rendered NDJSON body is the cached value;
-// see classifyArtifact for why.
+// classifyMemo computes (or replays) one spec-path classification
+// through the cell path: local memo cache, then — clustered — the hash
+// ring (a remote-owned spec forwards to its owner; see cluster.go). The
+// rendered NDJSON body is the cached value; see classifyArtifact for
+// why, and classifyRaw (cluster.go) for the compute itself.
 func (s *Service) classifyMemo(ctx context.Context, spec ClassifySpec) (classifyArtifact, bool, error) {
 	_, sp := obs.Start(ctx, "cache.lookup")
 	sp.Str("workload", spec.Workload)
-	art, hit, err := runner.Memo(s.cache, classifySlug, spec, func() (classifyArtifact, error) {
-		var buf bytes.Buffer
-		st, err := runClassify(ctx, spec, trace.NewStreamBatcher(specStream(spec)), func(v any) error {
-			enc, merr := json.Marshal(v)
-			if merr != nil {
-				return fmt.Errorf("service: encoding result line: %w", merr)
-			}
-			buf.Write(enc)
-			buf.WriteByte('\n')
-			return nil
-		})
-		if err != nil {
-			return classifyArtifact{}, err
-		}
-		s.records.Add(st.Records)
-		return classifyArtifact{Body: buf.Bytes(), Stats: st, Summary: true}, nil
+	raw, hit, err := s.memoCell(ctx, classifySlug, spec, func() (json.RawMessage, error) {
+		return s.classifyRaw(ctx, spec)
 	})
 	sp.Bool("hit", hit)
 	sp.Err(err)
 	sp.End()
-	return art, hit, err
+	if err != nil {
+		return classifyArtifact{}, hit, err
+	}
+	var art classifyArtifact
+	if uerr := json.Unmarshal(raw, &art); uerr != nil {
+		return classifyArtifact{}, hit, fmt.Errorf("service: decoding classify artifact: %w", uerr)
+	}
+	return art, hit, nil
 }
 
 // classifySlug keys spec-path classifications in the memo cache.

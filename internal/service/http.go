@@ -33,6 +33,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/trace/{job}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Internal peer-to-peer endpoints (cluster.go). Registered even when
+	// single-node: a cell request is just "compute locally and memoize",
+	// and a node with -peers empty may still be listed as a peer by others.
+	mux.HandleFunc("POST /v1/cluster/cell", s.idempotent(s.handleClusterCell))
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	return mux
 }
 
@@ -222,6 +227,9 @@ func (s *Service) handleClassify(w http.ResponseWriter, r *http.Request) {
 	ctx, root := obs.Start(obs.Inject(r.Context(), s.ring, id), "http.classify")
 	root.Str("client", client)
 	defer root.End()
+	// Carry the caller's identity into the fan-out: forwarded cells
+	// propagate the job/trace ID, idempotency key, and priority (cluster.go).
+	ctx = withReqMeta(ctx, reqMeta{jobID: id, idemKey: r.Header.Get(IdemHeader), priority: r.Header.Get(PriorityHeader)})
 	r = r.WithContext(ctx)
 	defer func(t0 time.Time) { s.hClassif.ObserveDuration(time.Since(t0)) }(time.Now())
 
@@ -395,6 +403,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, root := obs.Start(obs.Inject(r.Context(), s.ring, id), "http.sweep")
 	root.Str("client", client)
 	defer root.End()
+	ctx = withReqMeta(ctx, reqMeta{jobID: id, idemKey: r.Header.Get(IdemHeader), priority: r.Header.Get(PriorityHeader)})
 	r = r.WithContext(ctx)
 	defer func(t0 time.Time) { s.hSweep.ObserveDuration(time.Since(t0)) }(time.Now())
 
@@ -426,7 +435,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.startJob(id, spec)
-	lines, hits, misses, runErr := s.runSweep(r.Context(), p, arts)
+	lines, hits, misses, runErr := s.runSweep(r.Context(), p, arts, spec.Seeds)
 
 	nw := newNDJSONWriter(w)
 	ok := 0
@@ -494,7 +503,11 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("job")
-	if _, ok := s.jobs.Get(id); !ok {
+	recs := s.ring.ByTrace(id)
+	if _, ok := s.jobs.Get(id); !ok && len(recs) == 0 {
+		// Unknown here AND no spans: truly unknown. A forwarded cell's
+		// spans land on its owner under the origin's job ID without a
+		// local job record, so spans alone are enough to serve the trace.
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusNotFound)
 		_ = json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf("unknown job %q (evicted or never created)", id), Status: http.StatusNotFound})
@@ -502,7 +515,7 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
-	for _, rec := range s.ring.ByTrace(id) {
+	for _, rec := range recs {
 		_ = enc.Encode(rec)
 	}
 }

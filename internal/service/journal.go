@@ -273,7 +273,7 @@ func (s *Service) redriveOne(ctx context.Context, kind string, rawSpec json.RawM
 		if err != nil {
 			return err
 		}
-		_, _, _, err = s.runSweep(ctx, p, arts)
+		_, _, _, err = s.runSweep(ctx, p, arts, spec.Seeds)
 		return err
 	case "classify":
 		var spec ClassifySpec

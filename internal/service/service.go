@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/durable"
 	"repro/internal/journal"
 	"repro/internal/obs"
@@ -96,6 +97,19 @@ type Config struct {
 	// Brownout.Enabled).
 	Brownout BrownoutConfig
 
+	// Cluster shards memoizable cells (classify specs, sweep cells)
+	// across a fleet by consistent hashing over their memo keys. Nil (or
+	// a nil *cluster.Cluster, the -peers-empty case) means single-node:
+	// every cell computes locally through exactly the pre-cluster code
+	// path. The service owns the cluster's lifecycle once passed here —
+	// Drain closes it.
+	Cluster *cluster.Cluster
+
+	// Workers caps concurrent local cell computation (0 = GOMAXPROCS).
+	// Clustered sweeps fan out wider than this so remote forwards overlap,
+	// but at most Workers cells ever compute on this node at once.
+	Workers int
+
 	// Logf receives operational diagnostics (journal damage, brownout
 	// transitions, recovery progress). Nil discards.
 	Logf func(format string, args ...any)
@@ -152,6 +166,14 @@ type Service struct {
 	bat   *batcher
 	logf  func(format string, args ...any)
 
+	// Cluster spine: the ring + forwarding layer (nil single-node) and
+	// the local-compute semaphore that keeps a clustered sweep's widened
+	// fan-out from widening local compute (nil when unclustered).
+	cluster  *cluster.Cluster
+	compSem  chan struct{}
+	flightMu sync.Mutex
+	flights  map[string]*cellFlight
+
 	// Robustness spine: the durable job journal (write-through from the
 	// registry, replayed by Recover), the idempotency replay store, and
 	// the brownout overload controller.
@@ -193,6 +215,10 @@ func New(cfg Config) *Service {
 		start: time.Now(),
 	}
 	s.logf = cfg.Logf
+	s.cluster = cfg.Cluster
+	if s.cluster.Enabled() {
+		s.compSem = make(chan struct{}, s.computeWorkers())
+	}
 	if !cfg.NoCache {
 		s.cache = runner.Open(cfg.CacheDir)
 	}
@@ -224,6 +250,9 @@ func (s *Service) supervision() []runner.Option {
 	if s.cfg.TaskTimeout > 0 {
 		opts = append(opts, runner.Deadline(s.cfg.TaskTimeout))
 	}
+	if s.cfg.Workers > 0 {
+		opts = append(opts, runner.Workers(s.cfg.Workers))
+	}
 	return opts
 }
 
@@ -246,6 +275,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	}
 	s.bat.stop()
 	s.brown.close()
+	s.cluster.Close()
 	if s.jlog != nil && s.jlog.j != nil {
 		if err := s.jlog.j.Close(); err != nil && s.logf != nil {
 			s.logf("service: closing journal: %v", err)
@@ -257,6 +287,10 @@ func (s *Service) Drain(ctx context.Context) error {
 // Cache exposes the memoization cache (nil when disabled) for wiring
 // diagnostics loggers.
 func (s *Service) Cache() *runner.Cache { return s.cache }
+
+// Cluster exposes the cluster layer (nil when single-node) for wiring
+// and tests.
+func (s *Service) Cluster() *cluster.Cluster { return s.cluster }
 
 // Vars returns the service's metrics as an unpublished expvar.Map —
 // test instances never collide in the process-global expvar registry;
@@ -327,6 +361,31 @@ func (s *Service) buildRegistry() *obs.Registry {
 			}
 			return 0
 		})
+	// Cluster metrics read the cluster's own atomics (all zero and
+	// harmless when single-node — the counters are nil-safe).
+	r.Counter("mct_cluster_forwards_total", "Cells forwarded to their remote ring owner.",
+		func() float64 { return float64(s.cluster.Counters().Forwards) })
+	r.Counter("mct_cluster_forward_failures_total", "Cell forwards that exhausted retries and fell back to local compute.",
+		func() float64 { return float64(s.cluster.Counters().ForwardFails) })
+	r.Counter("mct_cluster_steals_total", "Straggling forwards stolen back (pulled or recomputed locally).",
+		func() float64 { return float64(s.cluster.Counters().Steals) })
+	r.Counter("mct_cluster_peer_ejections_total", "Peers ejected from the ring after failed health probes.",
+		func() float64 { return float64(s.cluster.Counters().Ejections) })
+	r.Counter("mct_cluster_peer_restores_total", "Ejected peers restored to the ring after a healthy probe.",
+		func() float64 { return float64(s.cluster.Counters().Restores) })
+	r.Counter("mct_cluster_cache_fills_total", "Remote cell results written through to the local memo cache.",
+		func() float64 { return float64(s.cluster.Counters().CacheFills) })
+	r.Counter("mct_cluster_cache_pulls_total", "Cache-pull requests issued to peers.",
+		func() float64 { return float64(s.cluster.Counters().CachePulls) })
+	r.Counter("mct_cluster_cache_pull_hits_total", "Cache pulls answered from a peer's memo cache.",
+		func() float64 { return float64(s.cluster.Counters().PullHits) })
+	r.Gauge("mct_cluster_ring_size", "Nodes currently in the hash ring (1 when single-node).",
+		func() float64 {
+			if ring := s.cluster.Ring(); ring != nil {
+				return float64(len(ring.Peers()))
+			}
+			return 1
+		})
 	s.hAdmit = r.Histogram("mct_admission_wait_seconds",
 		"Time spent in the admission gate, accepted or rejected.", obs.LatencyBuckets)
 	s.hClassif = r.Histogram("mct_classify_duration_seconds",
@@ -395,6 +454,20 @@ func (s *Service) buildVars() *expvar.Map {
 	gauge("brownout_level", func() any { return s.brown.Level() })
 	gauge("brownout_transitions", func() any { return s.brown.transitions.Load() })
 	gauge("brownout_shed", func() any { return s.brown.sheds.Load() })
+	gauge("cluster_forwards", func() any { return s.cluster.Counters().Forwards })
+	gauge("cluster_forward_failures", func() any { return s.cluster.Counters().ForwardFails })
+	gauge("cluster_steals", func() any { return s.cluster.Counters().Steals })
+	gauge("cluster_ejections", func() any { return s.cluster.Counters().Ejections })
+	gauge("cluster_restores", func() any { return s.cluster.Counters().Restores })
+	gauge("cluster_cache_fills", func() any { return s.cluster.Counters().CacheFills })
+	gauge("cluster_cache_pulls", func() any { return s.cluster.Counters().CachePulls })
+	gauge("cluster_cache_pull_hits", func() any { return s.cluster.Counters().PullHits })
+	gauge("cluster_ring_size", func() any {
+		if ring := s.cluster.Ring(); ring != nil {
+			return len(ring.Peers())
+		}
+		return 1
+	})
 	// Histogram digests, flattened to numbers: the expvar map stays
 	// decodable as map[string]float64 (a contract existing clients and
 	// tests rely on); full bucket detail lives in ?format=prometheus.
