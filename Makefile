@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race ci bench bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke crash-smoke chaosnet-smoke cluster-smoke bench-cluster vulncheck fuzz clean-cache
+.PHONY: build vet test race ci bench bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke crash-smoke chaosnet-smoke cluster-smoke mrc-smoke bench-cluster bench-mrc vulncheck fuzz clean-cache
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet race bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke crash-smoke chaosnet-smoke cluster-smoke vulncheck
+ci: vet race bench-smoke batch-smoke chaos-smoke serve-smoke obs-smoke geom-smoke crash-smoke chaosnet-smoke cluster-smoke mrc-smoke vulncheck
 
 # Full hot-path benchmark sweep: the Go benchmarks for each package plus
 # the paperbench -bench report (BENCH_pr2.json). Use this for recorded
@@ -128,6 +128,17 @@ chaosnet-smoke:
 cluster-smoke:
 	$(GO) test -race -count=1 -run 'TestClusterChaosSmoke|TestFleetSweepByteIdenticalNoDuplicates|TestFleetCacheFillRaceConverges|TestFleetStealRescuesStraggler|TestFleetEjectionComputesLocally|TestClusterHeaderContractsAgree' -timeout 600s ./internal/service
 
+# MRC smoke: the miss-ratio-curve profiling gate. Boots mctd, uploads a
+# generated v2 trace to /v1/mrc and runs a spec request, and requires a
+# monotone non-increasing curve, an MCT split that accounts for every
+# miss (conflict+capacity+compulsory == misses <= accesses), and
+# byte-identical cold/warm responses on both paths. The SHARDS
+# differential tests (sampled vs exact stack distances, rate adaptation,
+# the zero-alloc observe pin) and the tenant-quota/header-validation
+# suite ride along, all under the race detector.
+mrc-smoke:
+	$(GO) test -race -count=1 -run 'TestMRCSmoke|TestProfilerMatchesExactReference|TestSampledErrorBounds|TestCurveMonotone|TestRateAdaptation|TestObserveBatchAllocs|TestMRC|TestTenant' -timeout 300s ./cmd/mctd ./internal/mrc ./internal/service
+
 # Cluster scaling benchmark: 3-node fleet vs single node on a 24-cell
 # sweep with a 60ms injected per-cell occupancy (the one-core proxy for
 # I/O-bound cell time; see the TestClusterScalingBench comment for the
@@ -136,6 +147,13 @@ cluster-smoke:
 bench-cluster:
 	MCT_BENCH_CLUSTER=1 MCT_BENCH_CLUSTER_OUT=$(CURDIR)/BENCH_pr9.json \
 		$(GO) test -count=1 -run TestClusterScalingBench -v ./internal/service
+
+# MRC profiler throughput: sampled (rate 0.01) and exact observe paths
+# over a 1M-reference swim trace, written to BENCH_pr10.json at the repo
+# root. Not part of ci — it measures, it doesn't gate.
+bench-mrc:
+	MCT_BENCH_MRC=1 MCT_BENCH_MRC_OUT=$(CURDIR)/BENCH_pr10.json \
+		$(GO) test -count=1 -run TestMRCThroughputBench -v ./internal/mrc
 
 # Known-vulnerability scan, best effort: runs when govulncheck is on PATH
 # and never fails the build on environments without it (the container this

@@ -98,6 +98,11 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		maxBytes    = fs.Uint64("max-bytes", 1<<28, "max bytes in an uploaded trace (0 = unlimited)")
 		maxAccesses = fs.Uint64("max-accesses", 5_000_000, "max accesses in a classify spec")
 
+		tenantSamples = fs.Uint64("tenant-samples", 0, "per-tenant MRC sampled-reference budget per window (0 = unlimited)")
+		tenantBytes   = fs.Uint64("tenant-bytes", 0, "per-tenant MRC upload-byte budget per window (0 = unlimited)")
+		tenantSet     = fs.Int("tenant-set", 0, "max sampled-set size an MRC request may ask for (0 = the profiler default)")
+		tenantWindow  = fs.Duration("tenant-window", time.Hour, "tenant quota accounting window")
+
 		taskTimeout  = fs.Duration("task-timeout", 0, "per-task attempt deadline (0 = unbounded)")
 		retries      = fs.Int("retries", 2, "extra attempts per task for failures marked transient")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
@@ -212,6 +217,12 @@ func mctdMain(args []string, stdout, stderr io.Writer, ready chan<- string) int 
 		CheckpointDir:   *ckptDir,
 		Limits:          trace.Limits{MaxRecords: *maxRecords, MaxBytes: *maxBytes},
 		MaxSpecAccesses: *maxAccesses,
+		Tenant: service.TenantQuota{
+			MaxSamples:    *tenantSamples,
+			MaxBytes:      *tenantBytes,
+			MaxSampledSet: *tenantSet,
+			Window:        *tenantWindow,
+		},
 		TaskTimeout:     *taskTimeout,
 		Retries:         *retries,
 		TraceSpans:      *traceSpans,

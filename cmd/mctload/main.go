@@ -1,5 +1,6 @@
 // Command mctload is the load-generator client for mctd: it drives
-// concurrent mixed classify/sweep traffic at a target (or closed-loop)
+// concurrent mixed classify/sweep traffic — plus an optional -mrc share
+// of miss-ratio-curve profiles — at a target (or closed-loop)
 // rate through the shared resilient client (idempotency keys, jittered
 // retries honoring Retry-After, opt-in hedging), reports latency
 // percentiles, error rates and the retry taxonomy, scrapes the server's
@@ -45,6 +46,7 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 		concurrency = fs.Int("concurrency", 8, "worker-fleet size (closed-loop)")
 		qps         = fs.Float64("qps", 0, "aggregate target QPS (0 = unpaced closed loop)")
 		mix         = fs.Float64("mix", 0.9, "fraction of requests that are classifies (rest are sweeps)")
+		mrcFrac     = fs.Float64("mrc", 0, "fraction of requests that are MRC profiles (carved out of the classify share)")
 		seed        = fs.Uint64("seed", 1, "traffic-pattern seed")
 		requests    = fs.Uint64("requests", 0, "stop after exactly this many requests (0 = run for -duration)")
 		retries     = fs.Int("retries", 1, "max attempts per logical request (1 = no retries; raise for chaos runs)")
@@ -87,6 +89,7 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 		Duration:         *duration,
 		QPS:              *qps,
 		ClassifyFraction: *mix,
+		MRCFraction:      *mrcFrac,
 		Seed:             *seed,
 		Client:           httpClient,
 		MaxRequests:      *requests,
@@ -110,15 +113,14 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 	if len(scrapeList) == 0 {
 		scrapeList = []string{*url}
 	}
-	for i, tgt := range scrapeList {
+	scraped := make([]*perf.ServerMetrics, 0, len(scrapeList))
+	for _, tgt := range scrapeList {
 		sm, err := loadgen.ScrapeServer(scrapeCtx, nil, tgt)
 		if err != nil {
 			fmt.Fprintf(stderr, "mctload: server metrics unavailable from %s: %v\n", tgt, err)
 			continue
 		}
-		if i == 0 {
-			report.Server = sm
-		}
+		scraped = append(scraped, sm)
 		if len(scrapeList) > 1 {
 			if report.Servers == nil {
 				report.Servers = map[string]*perf.ServerMetrics{}
@@ -126,6 +128,10 @@ func mctloadMain(args []string, stdout, stderr io.Writer) int {
 			report.Servers[tgt] = sm
 		}
 	}
+	// The Server section is the whole fleet, not whichever target
+	// happened to be scraped first: counters sum and histogram buckets
+	// merge across instances (per-instance detail stays in Servers).
+	report.Server = perf.MergeServerMetrics(scraped...)
 
 	if !*quiet {
 		fmt.Fprintln(stdout, report.Table().String())

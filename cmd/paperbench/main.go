@@ -533,6 +533,18 @@ func paperbenchMain(args []string, stdout, stderr io.Writer) int {
 		return nil
 	})
 
+	run([]string{"mrc"}, func() error {
+		r, err := memoize(cache, ckpt, "mrc", p, stderr, *resume, func() (experiments.MRCResult, error) { return experiments.MRCStudy(p) })
+		if err != nil {
+			return err
+		}
+		emit("mrc", r.Table())
+		fmt.Fprintf(stdout, "extension: SHARDS-style sampling at rate 0.01 stays within %.3f mean / %.3f worst\n",
+			r.MeanMAE["0.01"], r.WorstErr["0.01"])
+		fmt.Fprintln(stdout, "absolute miss-ratio error of exact stack distances (what /v1/mrc serves)")
+		return nil
+	})
+
 	if ran == 0 {
 		// Unreachable for registry-validated selections, but kept as a
 		// defensive gate: the run must never "succeed" having run nothing.

@@ -45,6 +45,7 @@ var artifacts = []Artifact{
 	{Slug: "icache", Names: []string{"icache"}, Run: func(p Params) (any, error) { return ICacheStudy(p) }},
 	{Slug: "sweep", Names: []string{"sweep"}, Run: func(p Params) (any, error) { return ConfigSweep(p) }},
 	{Slug: "cosched", Names: []string{"cosched"}, Run: func(p Params) (any, error) { return CoSchedule(p) }},
+	{Slug: "mrc", Names: []string{"mrc"}, Run: func(p Params) (any, error) { return MRCStudy(p) }},
 }
 
 // Artifacts returns the registry in reporting order. The slice is shared;

@@ -55,6 +55,12 @@ type Config struct {
 	// ClassifyFraction is the share of requests that are classifies (the
 	// rest are sweeps). Default 0.9: classify is the cheap, frequent op.
 	ClassifyFraction float64
+	// MRCFraction carves an MRC share out of the classify slice of the
+	// mix: a roll below MRCFraction is a POST /v1/mrc (with a rotating
+	// X-Mct-Tenant), between MRCFraction and ClassifyFraction a
+	// classify, above it a sweep. Zero keeps the historical two-class
+	// mix.
+	MRCFraction float64
 	// Seed makes the traffic pattern reproducible.
 	Seed uint64
 	// Client overrides the HTTP transport (tests inject the httptest
@@ -246,27 +252,41 @@ func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
 // not counted as a service error.
 func (c Config) oneRequest(ctx context.Context, cl *client.Client, target string, rng uint64, names []string, worker int) sample {
 	variant := rng % uint64(c.Variants)
-	isClassify := float64(rng%1000)/1000.0 < c.ClassifyFraction
+	roll := float64(rng%1000) / 1000.0
+	isMRC := roll < c.MRCFraction
+	isClassify := !isMRC && roll < c.ClassifyFraction
 
 	var path, body, class string
-	if isClassify {
+	switch {
+	case isMRC:
+		class = "mrc"
+		path = "/v1/mrc"
+		body = fmt.Sprintf(`{"workload":%q,"accesses":%d,"sizes_kb":[4,8,16,32],"rate":0.05}`,
+			names[int(rng/7)%len(names)], 4000+variant*1000)
+	case isClassify:
 		class = "classify"
 		path = "/v1/classify"
 		body = fmt.Sprintf(`{"workload":%q,"accesses":%d,"size_kb":8,"emit":"summary"}`,
 			names[int(rng/7)%len(names)], 4000+variant*1000)
-	} else {
+	default:
 		class = "sweep"
 		path = "/v1/sweep"
 		body = fmt.Sprintf(`{"experiments":["fig2"],"accesses":%d,"instructions":%d}`,
 			4000+variant*1000, 4000+variant*1000)
 	}
 
+	header := http.Header{"X-Mct-Client": []string{fmt.Sprintf("mctload-%d", worker)}}
+	if isMRC {
+		// A small rotating tenant population, so quota accounting and
+		// per-tenant metrics see realistic multi-tenant traffic.
+		header.Set("X-Mct-Tenant", fmt.Sprintf("mctload-%d", worker%4))
+	}
 	req := client.Request{
 		Path:        path,
 		Body:        []byte(body),
 		ContentType: "application/json",
-		Header:      http.Header{"X-Mct-Client": []string{fmt.Sprintf("mctload-%d", worker)}},
-		Hedge:       isClassify,
+		Header:      header,
+		Hedge:       isClassify || isMRC,
 	}
 
 	t0 := time.Now()
@@ -322,7 +342,7 @@ func aggregate(samples []sample, elapsed time.Duration, multiTarget bool) []perf
 		}
 	}
 	sort.Strings(targetOrder)
-	order := append([]string{"classify", "sweep", "total"}, targetOrder...)
+	order := append([]string{"mrc", "classify", "sweep", "total"}, targetOrder...)
 	var out []perf.LoadResult
 	for _, name := range order {
 		ss := classes[name]

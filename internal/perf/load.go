@@ -37,7 +37,7 @@ type Latency struct {
 // Percentile returns the q-quantile (0 <= q <= 1) of sorted (ascending)
 // samples using the nearest-rank definition: the smallest sample such
 // that at least q·n samples are <= it, i.e. index ceil(q·n)-1. Zero when
-// empty; q outside [0,1] clamps to the min/max sample.
+// empty; NaN and q below 0 clamp to the min sample, q above 1 to the max.
 //
 // The previous implementation rounded the rank half-up
 // (int(q·n + 0.5) - 1), which understates percentiles whenever q·n has
@@ -47,7 +47,7 @@ func Percentile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	if q <= 0 {
+	if math.IsNaN(q) || q <= 0 {
 		return sorted[0]
 	}
 	if q >= 1 {
@@ -136,6 +136,57 @@ type ServerHistogram struct {
 type ServerMetrics struct {
 	Counters   map[string]float64 `json:"counters,omitempty"`
 	Histograms []ServerHistogram  `json:"histograms,omitempty"`
+}
+
+// MergeServerMetrics folds per-instance scrapes into one fleet-wide
+// view: counters sum by name, histograms merge by name (counts and sums
+// add, cumulative buckets add per LE bound). Order is first-seen, so a
+// fleet of identically-shaped instances merges in the first instance's
+// order and the output stays diffable. Nil inputs are skipped; the
+// result is nil only when every input is nil (matching the "could not
+// scrape" convention of LoadReport.Server).
+func MergeServerMetrics(ms ...*ServerMetrics) *ServerMetrics {
+	var out *ServerMetrics
+	histIdx := map[string]int{}
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		if out == nil {
+			out = &ServerMetrics{}
+		}
+		for name, v := range m.Counters {
+			if out.Counters == nil {
+				out.Counters = map[string]float64{}
+			}
+			out.Counters[name] += v
+		}
+		for _, h := range m.Histograms {
+			i, ok := histIdx[h.Name]
+			if !ok {
+				histIdx[h.Name] = len(out.Histograms)
+				merged := ServerHistogram{Name: h.Name, Count: h.Count, Sum: h.Sum,
+					Buckets: append([]ServerBucket(nil), h.Buckets...)}
+				out.Histograms = append(out.Histograms, merged)
+				continue
+			}
+			dst := &out.Histograms[i]
+			dst.Count += h.Count
+			dst.Sum += h.Sum
+			bIdx := map[string]int{}
+			for j, b := range dst.Buckets {
+				bIdx[b.LE] = j
+			}
+			for _, b := range h.Buckets {
+				if j, ok := bIdx[b.LE]; ok {
+					dst.Buckets[j].Count += b.Count
+				} else {
+					dst.Buckets = append(dst.Buckets, b)
+				}
+			}
+		}
+	}
+	return out
 }
 
 // LoadReport is the full load-test snapshot written to BENCH_pr5.json.

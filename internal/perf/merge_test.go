@@ -1,0 +1,73 @@
+package perf
+
+import (
+	"testing"
+)
+
+func TestMergeServerMetrics(t *testing.T) {
+	a := &ServerMetrics{
+		Counters: map[string]float64{"mct_jobs_accepted_total": 100, "mct_records_total": 5000},
+		Histograms: []ServerHistogram{{
+			Name: "mct_classify_duration_seconds", Count: 10, Sum: 1.5,
+			Buckets: []ServerBucket{{LE: "0.005", Count: 4}, {LE: "0.05", Count: 9}, {LE: "+Inf", Count: 10}},
+		}},
+	}
+	b := &ServerMetrics{
+		Counters: map[string]float64{"mct_jobs_accepted_total": 50, "mct_slow_tasks_total": 2},
+		Histograms: []ServerHistogram{
+			{
+				Name: "mct_classify_duration_seconds", Count: 20, Sum: 4.5,
+				Buckets: []ServerBucket{{LE: "0.005", Count: 1}, {LE: "0.05", Count: 15}, {LE: "+Inf", Count: 20}},
+			},
+			{Name: "mct_sweep_duration_seconds", Count: 3, Sum: 0.9,
+				Buckets: []ServerBucket{{LE: "+Inf", Count: 3}}},
+		},
+	}
+
+	m := MergeServerMetrics(a, nil, b)
+	if m == nil {
+		t.Fatal("merge of non-nil inputs returned nil")
+	}
+	if got := m.Counters["mct_jobs_accepted_total"]; got != 150 {
+		t.Errorf("accepted counter = %v, want 150 (sum of both instances)", got)
+	}
+	if got := m.Counters["mct_records_total"]; got != 5000 {
+		t.Errorf("records counter = %v, want 5000", got)
+	}
+	if got := m.Counters["mct_slow_tasks_total"]; got != 2 {
+		t.Errorf("slow counter = %v, want 2", got)
+	}
+	if len(m.Histograms) != 2 {
+		t.Fatalf("merged %d histograms, want 2", len(m.Histograms))
+	}
+	h := m.Histograms[0]
+	if h.Name != "mct_classify_duration_seconds" {
+		t.Fatalf("first-seen order not preserved: %q first", h.Name)
+	}
+	if h.Count != 30 || h.Sum != 6.0 {
+		t.Errorf("classify histogram count/sum = %d/%v, want 30/6", h.Count, h.Sum)
+	}
+	wantBuckets := []ServerBucket{{LE: "0.005", Count: 5}, {LE: "0.05", Count: 24}, {LE: "+Inf", Count: 30}}
+	for i, wb := range wantBuckets {
+		if h.Buckets[i] != wb {
+			t.Errorf("bucket %d = %+v, want %+v", i, h.Buckets[i], wb)
+		}
+	}
+	if m.Histograms[1].Name != "mct_sweep_duration_seconds" || m.Histograms[1].Count != 3 {
+		t.Errorf("single-instance histogram mangled: %+v", m.Histograms[1])
+	}
+
+	// Inputs must not alias the output: mutating the merge can't reach
+	// back into a per-instance scrape.
+	m.Histograms[0].Buckets[0].Count = 999
+	if a.Histograms[0].Buckets[0].Count != 4 {
+		t.Error("merge aliases the first input's bucket slice")
+	}
+
+	if got := MergeServerMetrics(nil, nil); got != nil {
+		t.Errorf("all-nil merge = %+v, want nil", got)
+	}
+	if got := MergeServerMetrics(); got != nil {
+		t.Errorf("empty merge = %+v, want nil", got)
+	}
+}

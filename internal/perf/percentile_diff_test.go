@@ -1,0 +1,75 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TestPercentileCrossPackageDifferential pins stats.Histogram.Percentile
+// and perf.Percentile to the same nearest-rank rule over shared sample
+// sets. With bucket width 1, a histogram's bucket for value v has upper
+// bound v+1, so for every quantile — including the formerly-unvalidated
+// NaN and out-of-range ones — the histogram answer must be exactly the
+// sorted-samples answer plus one.
+func TestPercentileCrossPackageDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sets := map[string][]uint64{
+		"single":    {7},
+		"two":       {3, 9},
+		"four":      {1, 2, 3, 4},
+		"dup-heavy": {5, 5, 5, 5, 5, 9, 9, 1},
+	}
+	uniform := make([]uint64, 997)
+	for i := range uniform {
+		uniform[i] = uint64(rng.Intn(200))
+	}
+	sets["uniform"] = uniform
+
+	quantiles := []float64{-0.5, 0, 1e-9, 0.01, 0.25, 0.5, 0.6, 0.75, 0.9, 0.99, 0.999, 1, 1.5, math.NaN()}
+
+	for name, vals := range sets {
+		maxV := slices.Max(vals)
+		h := stats.NewHistogram(int(maxV)+1, 1)
+		sorted := make([]time.Duration, len(vals))
+		for i, v := range vals {
+			h.Add(v)
+			sorted[i] = time.Duration(v)
+		}
+		slices.Sort(sorted)
+
+		for _, q := range quantiles {
+			want := uint64(Percentile(sorted, q)) + 1
+			got := h.Percentile(q)
+			if got != want {
+				t.Errorf("%s q=%v: histogram %d, sorted-rank %d", name, q, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramPercentileValidation pins the clamp semantics directly:
+// NaN and p <= 0 answer like the minimum sample, p >= 1 like the
+// maximum — never the overflow boundary unless samples overflowed.
+func TestHistogramPercentileValidation(t *testing.T) {
+	h := stats.NewHistogram(100, 1)
+	for _, v := range []uint64{10, 20, 30} {
+		h.Add(v)
+	}
+	if got := h.Percentile(math.NaN()); got != 11 {
+		t.Errorf("NaN percentile = %d, want the min bucket bound 11", got)
+	}
+	if got := h.Percentile(-3); got != 11 {
+		t.Errorf("p=-3 percentile = %d, want 11", got)
+	}
+	if got := h.Percentile(2); got != 31 {
+		t.Errorf("p=2 percentile = %d, want the max bucket bound 31, not the overflow bound", got)
+	}
+	if got := h.Percentile(1); got != 31 {
+		t.Errorf("p=1 percentile = %d, want 31", got)
+	}
+}

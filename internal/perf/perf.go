@@ -83,6 +83,13 @@ func resultOf(name string, r testing.BenchmarkResult, opsPerIter int) Result {
 	return out
 }
 
+// ResultOf converts a testing.BenchmarkResult into a Result, for
+// env-gated bench tests in other packages that write their own
+// BENCH_*.json via NewReport.
+func ResultOf(name string, r testing.BenchmarkResult, opsPerIter int) Result {
+	return resultOf(name, r, opsPerIter)
+}
+
 // benchAddrs builds a deterministic access mix: a hot line (hits), a
 // conflict ping-pong, and a cold sweep over twice the 16KB cache.
 func benchAddrs(n int) []mem.Addr {

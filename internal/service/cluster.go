@@ -51,14 +51,14 @@ func metaFrom(ctx context.Context) reqMeta {
 }
 
 // cellIdemKey picks the idempotency key a forwarded cell carries. A
-// whole-request forward (spec-path classify: the request IS one cell)
-// propagates the caller's key unchanged, so the remote store dedupes
-// the caller's retries exactly as the first hop would have. Sweep
-// cells use a content-derived key instead — the cell is a pure
+// whole-request forward (spec-path classify or mrc: the request IS one
+// cell) propagates the caller's key unchanged, so the remote store
+// dedupes the caller's retries exactly as the first hop would have.
+// Sweep cells use a content-derived key instead — the cell is a pure
 // function of (slug, payload), so every node forwarding the same cell
 // coalesces onto one remote computation regardless of which job asked.
 func cellIdemKey(slug, key string, m reqMeta) string {
-	if slug == classifySlug && m.idemKey != "" {
+	if (slug == classifySlug || slug == mrcSlug) && m.idemKey != "" {
 		return m.idemKey
 	}
 	return "cell-" + key[:32]
@@ -322,6 +322,17 @@ func (s *Service) execCellLocal(ctx context.Context, creq cluster.CellRequest) (
 		label = "classify/" + spec.Workload
 		payload = spec
 		compute = func(tctx context.Context) (json.RawMessage, error) { return s.classifyRaw(tctx, spec) }
+	case mrcSlug:
+		var spec MRCSpec
+		if err := strictUnmarshal(creq.Payload, &spec); err != nil {
+			return nil, false, fmt.Errorf("%w: cell payload: %v", ErrBadRequest, err)
+		}
+		if err := spec.normalize(false, s.cfg.MaxSpecAccesses, s.cfg.Tenant.MaxSampledSet); err != nil {
+			return nil, false, err
+		}
+		label = "mrc/" + spec.Workload
+		payload = spec
+		compute = func(tctx context.Context) (json.RawMessage, error) { return s.mrcRaw(tctx, spec) }
 	default:
 		arts, err := experiments.Select([]string{creq.Slug})
 		if err != nil || len(arts) != 1 || arts[0].Slug != creq.Slug {

@@ -20,6 +20,9 @@ import (
 //	POST /v1/classify   classify a workload spec (JSON) or an uploaded
 //	                    binary trace (any other content type) — NDJSON
 //	POST /v1/sweep      run an experiment sweep — NDJSON
+//	POST /v1/mrc        SHARDS-sampled miss-ratio curve with the MCT
+//	                    conflict/capacity split per size, from a spec
+//	                    (JSON) or an uploaded trace — NDJSON
 //	GET  /v1/jobs/{id}  job status, attempts, partial failures
 //	GET  /v1/trace/{job} the job's buffered trace spans — NDJSON
 //	GET  /healthz       200 ok / 503 draining
@@ -29,6 +32,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.idempotent(s.handleClassify))
 	mux.HandleFunc("POST /v1/sweep", s.idempotent(s.handleSweep))
+	mux.HandleFunc("POST /v1/mrc", s.idempotent(s.handleMRC))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/trace/{job}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -51,7 +55,7 @@ func statusFor(err error) int {
 		return http.StatusOK
 	case errors.Is(err, trace.ErrTraceTooLarge):
 		return http.StatusRequestEntityTooLarge // 413
-	case errors.Is(err, ErrBusy), errors.Is(err, ErrClientBusy):
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClientBusy), errors.Is(err, ErrQuota):
 		return http.StatusTooManyRequests // 429
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable // 503

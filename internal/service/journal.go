@@ -286,6 +286,17 @@ func (s *Service) redriveOne(ctx context.Context, kind string, rawSpec json.RawM
 		jobCtx := runner.WithOptions(ctx, s.supervision()...)
 		_, _, err := s.classifyMemo(jobCtx, spec)
 		return err
+	case "mrc":
+		var spec MRCSpec
+		if err := json.Unmarshal(rawSpec, &spec); err != nil {
+			return fmt.Errorf("service: journaled mrc spec: %w", err)
+		}
+		if err := spec.normalize(false, s.cfg.MaxSpecAccesses, s.cfg.Tenant.MaxSampledSet); err != nil {
+			return err
+		}
+		// mrcMemo applies the supervision options itself.
+		_, _, err := s.mrcMemo(ctx, spec)
+		return err
 	default:
 		return fmt.Errorf("service: journaled job has unknown kind %q", kind)
 	}

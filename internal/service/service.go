@@ -97,6 +97,11 @@ type Config struct {
 	// Brownout.Enabled).
 	Brownout BrownoutConfig
 
+	// Tenant bounds per-tenant MRC consumption (samples processed,
+	// bytes ingested, sampled-set size). The zero value accounts but
+	// never rejects.
+	Tenant TenantQuota
+
 	// Cluster shards memoizable cells (classify specs, sweep cells)
 	// across a fleet by consistent hashing over their memo keys. Nil (or
 	// a nil *cluster.Cluster, the -peers-empty case) means single-node:
@@ -183,6 +188,14 @@ type Service struct {
 	brown       *brownout
 	recoverWG   sync.WaitGroup
 
+	// Tenant quota spine for /v1/mrc: the windowed ledger plus its
+	// counters.
+	tenants      *tenantLedger
+	mrcReqs      counter // /v1/mrc requests past the shed gate
+	mrcSamples   counter // SHARDS-sampled references processed
+	mrcIngest    counter // uploaded trace bytes ingested by /v1/mrc
+	quotaRejects counter // requests rejected by tenant quota
+
 	start     time.Time
 	records   counter // simulated records (instructions/accesses), for rate
 	retried   counter
@@ -201,6 +214,7 @@ type Service struct {
 	hAdmit   *obs.Histogram // seconds spent in the admission gate
 	hClassif *obs.Histogram // classify request duration, seconds
 	hSweep   *obs.Histogram // sweep request duration, seconds
+	hMRC     *obs.Histogram // mrc request duration, seconds
 	hBatch   *obs.Histogram // classify batch sizes
 }
 
@@ -235,6 +249,7 @@ func New(cfg Config) *Service {
 		}
 	}
 	s.idem = newIdemStore(cfg.IdemMaxEntries, cfg.IdemMaxBodyBytes)
+	s.tenants = newTenantLedger(cfg.Tenant)
 	s.brown = newBrownout(s, cfg.Brownout)
 	s.ring = obs.NewRing(cfg.TraceSpans)
 	s.reg = s.buildRegistry()
@@ -328,6 +343,14 @@ func (s *Service) buildRegistry() *obs.Registry {
 		func() float64 { h, _ := s.cache.Stats(); return float64(h) })
 	r.Counter("mct_cache_misses_total", "Memoization cache misses.",
 		func() float64 { _, m := s.cache.Stats(); return float64(m) })
+	r.Counter("mct_mrc_requests_total", "MRC requests past the shed gate.",
+		func() float64 { return float64(s.mrcReqs.Load()) })
+	r.Counter("mct_mrc_samples_total", "SHARDS-sampled references processed by MRC profiling.",
+		func() float64 { return float64(s.mrcSamples.Load()) })
+	r.Counter("mct_mrc_ingest_bytes_total", "Uploaded trace bytes ingested by /v1/mrc.",
+		func() float64 { return float64(s.mrcIngest.Load()) })
+	r.Counter("mct_mrc_quota_rejected_total", "Requests rejected or aborted by tenant quota.",
+		func() float64 { return float64(s.quotaRejects.Load()) })
 	r.Counter("mct_slow_tasks_total", "Task attempts flagged by the slow-task log.",
 		func() float64 { return float64(s.slow.Load()) })
 	r.Counter("mct_journal_records_total", "Job journal records appended.",
@@ -392,6 +415,8 @@ func (s *Service) buildRegistry() *obs.Registry {
 		"Classify request duration, admission to last byte.", obs.LatencyBuckets)
 	s.hSweep = r.Histogram("mct_sweep_duration_seconds",
 		"Sweep request duration, admission to last byte.", obs.LatencyBuckets)
+	s.hMRC = r.Histogram("mct_mrc_duration_seconds",
+		"MRC request duration, admission to last byte.", obs.LatencyBuckets)
 	s.hBatch = r.Histogram("mct_classify_batch_size",
 		"Classify requests coalesced per batch.", obs.SizeBuckets)
 	return r
@@ -444,6 +469,10 @@ func (s *Service) buildVars() *expvar.Map {
 		}
 		return float64(s.records.Load()) / el
 	})
+	gauge("mrc_requests", func() any { return s.mrcReqs.Load() })
+	gauge("mrc_samples", func() any { return s.mrcSamples.Load() })
+	gauge("mrc_ingest_bytes", func() any { return s.mrcIngest.Load() })
+	gauge("mrc_quota_rejected", func() any { return s.quotaRejects.Load() })
 	gauge("slow_tasks", func() any { return s.slow.Load() })
 	gauge("journal_records", func() any { return s.jnlWrites.Load() })
 	gauge("journal_errors", func() any { return s.jnlErrs.Load() })
@@ -479,6 +508,7 @@ func (s *Service) buildVars() *expvar.Map {
 	histDigest("admit_wait", s.hAdmit)
 	histDigest("classify_latency", s.hClassif)
 	histDigest("sweep_latency", s.hSweep)
+	histDigest("mrc_latency", s.hMRC)
 	gauge("batch_size_count", func() any { return s.hBatch.Count() })
 	gauge("batch_size_p50", func() any { return s.hBatch.Quantile(0.5) })
 	return m

@@ -121,13 +121,28 @@ func (h *Histogram) Overflow() uint64 { return h.over }
 // Percentile returns the smallest value v such that at least p (0..1) of
 // samples are <= v, in units of bucket upper bounds. Overflowed samples
 // report the overflow boundary.
+//
+// The quantile follows perf.Percentile's nearest-rank rule — rank
+// ceil(p·n), so the two packages agree on shared sample sets — and is
+// validated the same way: NaN and p <= 0 clamp to the first sample's
+// bucket, p >= 1 to the last. (Previously NaN and out-of-range p were
+// accepted silently: p > 1 produced a target beyond the sample count and
+// walked off the end to the overflow boundary even with no overflow.)
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.total == 0 {
 		return 0
 	}
-	target := uint64(math.Ceil(p * float64(h.total)))
-	if target == 0 {
+	var target uint64
+	switch {
+	case math.IsNaN(p) || p <= 0:
 		target = 1
+	case p >= 1:
+		target = h.total
+	default:
+		target = uint64(math.Ceil(p * float64(h.total)))
+		if target == 0 {
+			target = 1
+		}
 	}
 	var cum uint64
 	for i, c := range h.buckets {
